@@ -1,0 +1,31 @@
+# Convenience targets for development and reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments experiments-quick examples clean
+
+install:
+	pip install -e . --no-build-isolation || \
+	echo "$(CURDIR)/src" > $$($(PYTHON) -c "import site; print(site.getsitepackages()[0])")/repro.pth
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments
+
+experiments-quick:
+	$(PYTHON) -m repro.experiments --quick
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .hypothesis .benchmarks

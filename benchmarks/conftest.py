@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Every paper table/figure has a bench that regenerates it at reduced
+scale (``quick=True``) and asserts the paper's qualitative shape.
+Simulation benches run one round (a run is seconds long); analytic
+benches use normal timing rounds.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the target exactly once under timing (simulation benches)."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

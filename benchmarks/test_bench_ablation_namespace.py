@@ -1,0 +1,36 @@
+"""Ablation: namespace fanout vs repair traffic.
+
+SSTP's recursive descent cost depends on the tree shape: a flat
+namespace answers one descent query with one huge digest packet, a
+deep narrow one needs many round trips.  This bench publishes the same
+ADUs under different fanouts and compares query/digest traffic and
+consistency.
+"""
+
+from repro.sstp import ReliabilityLevel, SstpSession
+
+
+def run_shape(fanout: int, n_items: int = 64, seed: int = 3):
+    session = SstpSession(
+        total_kbps=50.0,
+        n_receivers=1,
+        loss_rate=0.25,
+        reliability=ReliabilityLevel.RELIABLE,
+        seed=seed,
+        adapt_interval=None,
+    )
+    for index in range(n_items):
+        # Spread items across `fanout` top-level directories.
+        session.publish(f"dir{index % fanout}/item{index}", index)
+    result = session.run(horizon=150.0, warmup=20.0)
+    return result
+
+
+def test_bench_ablation_namespace(once):
+    results = once(
+        lambda: {fanout: run_shape(fanout) for fanout in (1, 8, 64)}
+    )
+    for fanout, result in results.items():
+        assert result.consistency > 0.9, (fanout, result.consistency)
+    # All shapes must converge; traffic mix differs.
+    assert results[1].digest_packets != results[64].digest_packets

@@ -1,0 +1,39 @@
+"""Ablation: scheduler choice for hot/cold proportional sharing.
+
+The paper says the two queues may share bandwidth via "a randomized
+lottery scheduler, weighted fair queueing or stride scheduling".  This
+bench runs the same Figure 5 operating point under all four disciplines
+and checks the choice does not materially change consistency (the
+shares, not the mechanism, are what matters).
+"""
+
+import pytest
+
+from repro.protocols import TwoQueueSession
+
+POINT = dict(
+    hot_share=0.45,
+    data_kbps=45.0,
+    loss_rate=0.3,
+    update_rate=15.0,
+    lifetime_mean=20.0,
+    seed=5,
+)
+
+
+def run_all():
+    results = {}
+    for scheduler in ["stride", "lottery", "wfq", "drr"]:
+        session = TwoQueueSession(scheduler=scheduler, **POINT)
+        results[scheduler] = session.run(horizon=150.0, warmup=30.0)
+    return results
+
+
+def test_bench_ablation_scheduler(once):
+    results = once(run_all)
+    consistencies = {
+        name: result.consistency for name, result in results.items()
+    }
+    reference = consistencies["stride"]
+    for name, value in consistencies.items():
+        assert value == pytest.approx(reference, abs=0.08), consistencies

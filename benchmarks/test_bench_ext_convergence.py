@@ -1,0 +1,20 @@
+"""Bench: time to eventual consistency per protocol."""
+
+import math
+
+from repro.experiments import run_experiment
+
+
+def test_bench_ext_convergence(once):
+    result = once(run_experiment, "ext_convergence", quick=True)
+    by_protocol = {
+        (row["loss"], row["protocol"]): row for row in result.rows
+    }
+    high_loss = max(row["loss"] for row in result.rows)
+    feedback = by_protocol[(high_loss, "feedback")]
+    open_loop = by_protocol[(high_loss, "open-loop")]
+    # Targeted repair reaches the 99% tail well before FIFO cycling.
+    assert not math.isnan(feedback["t99_s"])
+    assert feedback["t99_s"] < open_loop["t99_s"]
+    # Everyone eventually converges (the paper's eventual consistency).
+    assert all(row["final"] > 0.9 for row in result.rows)

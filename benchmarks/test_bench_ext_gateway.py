@@ -1,0 +1,15 @@
+"""Bench: soft-state gateway vs naive forwarder across a bottleneck."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_ext_gateway(once):
+    result = once(run_experiment, "ext_gateway", quick=True)
+    by_point = {
+        (row["bottleneck_kbps"], row["mode"]): row for row in result.rows
+    }
+    slowest = min(row["bottleneck_kbps"] for row in result.rows)
+    soft = by_point[(slowest, "soft_state")]
+    naive = by_point[(slowest, "forwarder")]
+    assert soft["e2e_consistency"] > naive["e2e_consistency"] + 0.3
+    assert naive["backlog_end"] > soft["backlog_end"]

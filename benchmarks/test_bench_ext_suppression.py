@@ -1,0 +1,13 @@
+"""Bench: NACK suppression keeps feedback sublinear in group size."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_ext_suppression(once):
+    result = once(run_experiment, "ext_suppression", quick=True)
+    rows = {row["group_size"]: row for row in result.rows}
+    largest = max(rows)
+    # Feedback grows far slower than the group.
+    assert rows[largest]["nacks_vs_n1"] < 0.6 * largest
+    assert rows[largest]["suppressed"] > 0
+    assert all(row["consistency"] > 0.85 for row in result.rows)

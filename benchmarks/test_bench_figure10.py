@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 10 (consistency vs mu_hot with feedback)."""
+
+from repro.experiments import run_experiment
+from repro.experiments.figure10 import LAMBDA, MU_DATA
+
+
+def test_bench_figure10(once):
+    result = once(run_experiment, "figure10", quick=True)
+    below = [
+        row["consistency"]
+        for row in result.rows
+        if row["hot_share"] * MU_DATA < LAMBDA
+    ]
+    above = [
+        row["consistency"]
+        for row in result.rows
+        if row["hot_share"] * MU_DATA > LAMBDA * 1.1
+    ]
+    assert max(below) < min(above) - 0.2

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 11 (consistency knee per loss rate)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure11(once):
+    result = once(run_experiment, "figure11", quick=True)
+    best = {}
+    for row in result.rows:
+        best[row["loss"]] = max(best.get(row["loss"], 0.0), row["consistency"])
+    losses = sorted(best)
+    # The loss rate caps attainable consistency.
+    assert best[losses[0]] > best[losses[-1]]

@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 12 (profile-driven allocation hierarchy)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure12(benchmark):
+    result = benchmark(run_experiment, "figure12", quick=True)
+    for row in result.rows:
+        assert row["data_kbps"] + row["fb_kbps"] == pytest.approx(
+            50.0, abs=0.1
+        )
+    assert "hot" in result.notes  # the live scheduler tree is rendered

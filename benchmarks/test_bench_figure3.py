@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 3 (consistency vs loss per death rate)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure3(benchmark):
+    result = benchmark(run_experiment, "figure3", quick=False)
+    headline = [
+        row
+        for row in result.rows
+        if row["p_death"] == 0.15 and 0.0 < row["p_loss"] <= 0.1
+    ]
+    assert headline
+    assert all(0.80 <= row["consistency"] <= 0.95 for row in headline)

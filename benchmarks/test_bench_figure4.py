@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 4 (redundant-bandwidth fraction)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure4(benchmark):
+    result = benchmark(run_experiment, "figure4", quick=False)
+    headline = [
+        row
+        for row in result.rows
+        if row["p_death"] == 0.10 and row["p_loss"] <= 0.2
+    ]
+    assert all(row["redundant_fraction"] > 0.85 for row in headline)

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 5 (two-queue consistency vs hot share)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure5(once):
+    result = once(run_experiment, "figure5", quick=True)
+    healthy = [r for r in result.rows if r["hot_share"] >= 0.4]
+    starved = [r for r in result.rows if r["hot_share"] < 0.33]
+    assert min(r["consistency"] for r in healthy) > max(
+        r["consistency"] for r in starved
+    )
+    assert all(r["gain"] > 0.05 for r in healthy)

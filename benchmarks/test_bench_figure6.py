@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 6 (receive latency vs cold/hot ratio)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure6(once):
+    result = once(run_experiment, "figure6", quick=True)
+    rows = sorted(result.rows, key=lambda r: r["cold_over_hot"])
+    latencies = [row["receive_latency_s"] for row in rows]
+    assert latencies[1] > latencies[0]
+    assert latencies[-1] < latencies[1]

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 7 (state machine audit)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure7(once):
+    result = once(run_experiment, "figure7", quick=True)
+    events = {row["event"] for row in result.rows}
+    assert "transmit" in events
+    assert "death" in events
+    assert "nack" in events

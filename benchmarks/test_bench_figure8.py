@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 8 (consistency over time per fb share)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure8(once):
+    result = once(run_experiment, "figure8", quick=True)
+    finals = {row["fb_share"]: row["running_consistency"] for row in result.rows}
+    assert finals[0.2] > finals[0.0] + 0.05  # feedback helps
+    assert finals[0.7] < finals[0.0]  # starving data collapses

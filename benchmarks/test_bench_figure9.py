@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 9 (consistency vs feedback share per loss)."""
+
+from repro.experiments import run_experiment
+from repro.experiments.figure9 import as_profile
+
+
+def test_bench_figure9(once):
+    result = once(run_experiment, "figure9", quick=True)
+    best_gain = {}
+    for row in result.rows:
+        best_gain[row["loss"]] = max(
+            best_gain.get(row["loss"], 0.0), row["gain_vs_open_loop"]
+        )
+    losses = sorted(best_gain)
+    assert best_gain[losses[-1]] > best_gain[losses[0]]
+    # The sweep converts into a usable allocator profile.
+    profile = as_profile(result)
+    knob, _ = profile.best_knob(losses[-1])
+    assert knob > 0.0

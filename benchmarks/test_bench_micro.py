@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the substrates (throughput sanity checks)."""
+
+import random
+
+from repro.des import Environment
+from repro.sched import StrideScheduler, WfqScheduler
+from repro.sstp import Namespace
+
+
+def test_bench_des_event_throughput(benchmark):
+    """Events processed per benchmark round: a ping-pong process pair."""
+
+    def run():
+        env = Environment()
+
+        def clock(env):
+            for _ in range(20000):
+                yield env.timeout(1.0)
+
+        env.process(clock(env))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 20000.0
+
+
+def test_bench_scheduler_throughput(benchmark):
+    def run():
+        scheduler = StrideScheduler()
+        scheduler.add_class("hot", weight=3.0)
+        scheduler.add_class("cold", weight=1.0)
+        for i in range(5000):
+            scheduler.enqueue("hot", i)
+            scheduler.enqueue("cold", i)
+        count = 0
+        while scheduler.dequeue() is not None:
+            count += 1
+        return count
+
+    assert benchmark(run) == 10000
+
+
+def test_bench_wfq_throughput(benchmark):
+    def run():
+        scheduler = WfqScheduler()
+        scheduler.add_class("a", weight=1.0)
+        scheduler.add_class("b", weight=2.0)
+        rng = random.Random(1)
+        for i in range(5000):
+            scheduler.enqueue("a", i, size=rng.uniform(0.5, 2.0))
+            scheduler.enqueue("b", i, size=rng.uniform(0.5, 2.0))
+        count = 0
+        while scheduler.dequeue() is not None:
+            count += 1
+        return count
+
+    assert benchmark(run) == 10000
+
+
+def test_bench_namespace_digest_maintenance(benchmark):
+    """Publish + root-digest cost over a 3-level namespace."""
+
+    def run():
+        namespace = Namespace()
+        for i in range(1000):
+            namespace.publish(f"a{i % 10}/b{i % 7}/leaf{i}", i)
+            if i % 50 == 0:
+                namespace.root_digest()
+        return len(namespace)
+
+    assert benchmark(run) == 1000

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 1 (state-change probabilities)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table1(once):
+    result = once(run_experiment, "table1", quick=True)
+    assert len(result.rows) == 6
+    for row in result.rows:
+        assert row["measured"] == pytest.approx(row["analytic"], abs=0.06)

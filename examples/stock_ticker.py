@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Stock-quote dissemination: soft state vs hard state under loss.
+
+The paper's introduction lists "stock quote or general information
+dissemination services" among natural soft-state publishers: only the
+latest value of each key matters, so reliable in-order delivery of
+every intermediate quote (the TCP abstraction) is wasted work.
+
+This example pits the NACK-feedback soft-state protocol against the
+ARQ hard-state baseline on a Zipf-popular ticker feed across loss
+rates, comparing staleness (consistency), latency, and bandwidth.
+
+Run::
+
+    python examples/stock_ticker.py
+"""
+
+from repro.protocols import ArqSession, FeedbackSession
+from repro.workloads import StockTickerWorkload
+
+
+def build_workload():
+    return StockTickerWorkload(
+        n_symbols=60, total_update_rate=12.0, zipf_exponent=1.1
+    )
+
+
+def run_soft(loss_rate: float):
+    session = FeedbackSession(
+        hot_share=0.7,
+        data_kbps=36.0,
+        feedback_kbps=4.0,
+        loss_rate=loss_rate,
+        workload=build_workload(),
+        seed=6,
+    )
+    return session.run(horizon=300.0, warmup=60.0)
+
+
+def run_hard(loss_rate: float):
+    session = ArqSession(
+        data_kbps=36.0,
+        ack_kbps=4.0,
+        rto=0.5,
+        loss_rate=loss_rate,
+        workload=build_workload(),
+        seed=6,
+    )
+    return session.run(horizon=300.0, warmup=60.0)
+
+
+def main() -> None:
+    print("=== live quote table: soft state (SSTP-style) vs hard state (ARQ) ===")
+    print(
+        f"{'loss':>6} | {'soft c':>7} {'hard c':>7} | "
+        f"{'soft lat':>8} {'hard lat':>8} | {'soft pkts':>9} {'hard pkts':>9}"
+    )
+    for loss in [0.01, 0.1, 0.3, 0.5]:
+        soft = run_soft(loss)
+        hard = run_hard(loss)
+        print(
+            f"{loss:6.0%} | {soft.consistency:7.3f} {hard.consistency:7.3f} | "
+            f"{soft.mean_receive_latency:8.2f} {hard.mean_receive_latency:8.2f} | "
+            f"{soft.data_packets:9d} {hard.data_packets:9d}"
+        )
+    print()
+    print(
+        "Note: ARQ retransmits every intermediate quote until ACKed; the\n"
+        "soft-state sender only ever announces the *latest* value of a\n"
+        "symbol, so under loss it stays fresher with comparable bandwidth."
+    )
+
+
+if __name__ == "__main__":
+    main()

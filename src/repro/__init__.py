@@ -1,0 +1,29 @@
+"""repro: soft state-based communication, reproduced.
+
+A from-scratch implementation of Raman & McCanne, "A Model, Analysis,
+and Protocol Framework for Soft State-based Communication" (SIGCOMM
+1999): the soft-state data model and consistency metric, the Jackson
+queueing analysis of open-loop announce/listen, the two-queue and
+NACK-feedback protocol variants, and the SSTP transport framework --
+plus every substrate they need (simulation kernel, lossy network,
+proportional-share schedulers, workloads, and a hard-state baseline).
+
+Start with :mod:`repro.analysis` for the closed forms,
+:mod:`repro.protocols` for the protocol ladder, and :mod:`repro.sstp`
+for the transport framework; ``python -m repro.experiments`` reproduces
+every table and figure in the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "des",
+    "experiments",
+    "net",
+    "protocols",
+    "sched",
+    "sstp",
+    "workloads",
+]

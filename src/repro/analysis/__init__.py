@@ -1,0 +1,38 @@
+"""Queueing-theoretic analysis of soft-state protocols.
+
+Implements the analytic machinery of Section 3 of the paper:
+
+* :mod:`repro.analysis.mm1` — classical M/M/1 formulas (used for the
+  receive-latency argument around Figure 6);
+* :mod:`repro.analysis.jackson` — open multi-class Jackson networks with
+  product-form solutions (Baskett/Chandy/Muntz/Palacios), of which the
+  paper's single-queue two-class model is a special case;
+* :mod:`repro.analysis.openloop` — the paper's closed forms for the
+  open-loop announce/listen protocol: per-class throughputs, utilisation,
+  the Table 1 transition matrix, expected consistency E[c(t)]
+  (Figure 3), and the redundant-bandwidth fraction (Figure 4).
+"""
+
+from repro.analysis.mm1 import MM1Metrics, mm1_metrics
+from repro.analysis.jackson import JacksonNetwork, QueueSpec
+from repro.analysis.twoqueue import TwoQueueApproximation
+from repro.analysis.openloop import (
+    OpenLoopModel,
+    OpenLoopSolution,
+    expected_consistency,
+    redundant_bandwidth_fraction,
+    transition_matrix,
+)
+
+__all__ = [
+    "JacksonNetwork",
+    "MM1Metrics",
+    "OpenLoopModel",
+    "OpenLoopSolution",
+    "QueueSpec",
+    "TwoQueueApproximation",
+    "expected_consistency",
+    "mm1_metrics",
+    "redundant_bandwidth_fraction",
+    "transition_matrix",
+]

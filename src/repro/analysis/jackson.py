@@ -1,0 +1,202 @@
+"""Open multi-class Jackson queueing networks.
+
+Implements the product-form network machinery the paper cites
+(Baskett, Chandy, Muntz & Palacios, JACM 1975; the paper's reference
+[5]).  Customers of several *classes* move among FIFO exponential-server
+queues according to class-dependent routing probabilities; external
+(Poisson) arrivals feed any (queue, class) pair.
+
+The solver computes per-(queue, class) throughputs from the traffic
+equations, checks stability, and exposes the product-form joint
+distribution per queue:
+
+    p(n_1..n_K) = (n!/(n_1!..n_K!)) * prod_k (lam_k/lam)^{n_k}
+                  * (1-rho) rho^n
+
+which is exactly the formula the paper applies to its single-queue
+two-class (consistent/inconsistent) model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+Flow = Tuple[str, str]  # (queue name, class name)
+
+
+@dataclass(frozen=True)
+class QueueSpec:
+    """A FIFO queue with exponential service at ``service_rate``."""
+
+    name: str
+    service_rate: float
+
+    def __post_init__(self) -> None:
+        if self.service_rate <= 0:
+            raise ValueError(
+                f"service rate must be positive, got {self.service_rate}"
+            )
+
+
+class JacksonNetwork:
+    """An open network of queues with class-dependent Markovian routing."""
+
+    def __init__(
+        self, queues: Sequence[QueueSpec], classes: Iterable[str]
+    ) -> None:
+        if not queues:
+            raise ValueError("need at least one queue")
+        self.queues = {q.name: q for q in queues}
+        if len(self.queues) != len(queues):
+            raise ValueError("queue names must be unique")
+        self.classes = list(classes)
+        if not self.classes:
+            raise ValueError("need at least one class")
+        if len(set(self.classes)) != len(self.classes):
+            raise ValueError("class names must be unique")
+        self._flows: list[Flow] = [
+            (q.name, c) for q in queues for c in self.classes
+        ]
+        self._index = {flow: i for i, flow in enumerate(self._flows)}
+        n = len(self._flows)
+        self._routing = np.zeros((n, n))
+        self._external = np.zeros(n)
+
+    # -- model construction ---------------------------------------------------
+    def add_arrival(self, queue: str, cls: str, rate: float) -> None:
+        """Add an external Poisson arrival stream of ``cls`` at ``queue``."""
+        if rate < 0:
+            raise ValueError(f"arrival rate must be non-negative, got {rate}")
+        self._external[self._flow_index(queue, cls)] += rate
+
+    def set_routing(
+        self,
+        from_queue: str,
+        from_cls: str,
+        to_queue: str,
+        to_cls: str,
+        probability: float,
+    ) -> None:
+        """Route a departing (queue, class) customer onward.
+
+        Any probability mass not assigned leaves the network.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        src = self._flow_index(from_queue, from_cls)
+        dst = self._flow_index(to_queue, to_cls)
+        self._routing[src, dst] = probability
+        row_sum = self._routing[src].sum()
+        if row_sum > 1.0 + 1e-12:
+            raise ValueError(
+                f"routing out of ({from_queue}, {from_cls}) sums to "
+                f"{row_sum:.6f} > 1"
+            )
+
+    # -- solution ----------------------------------------------------------------
+    def solve(self) -> "JacksonSolution":
+        """Solve the traffic equations and build the product-form solution.
+
+        lambda = gamma + R^T lambda  =>  (I - R^T) lambda = gamma.
+        """
+        n = len(self._flows)
+        lhs = np.eye(n) - self._routing.T
+        throughputs = np.linalg.solve(lhs, self._external)
+        if np.any(throughputs < -1e-9):
+            raise ValueError("traffic equations produced a negative throughput")
+        throughputs = np.clip(throughputs, 0.0, None)
+        per_flow = {
+            flow: float(throughputs[i]) for flow, i in self._index.items()
+        }
+        utilization = {}
+        for name, queue in self.queues.items():
+            total = sum(per_flow[(name, c)] for c in self.classes)
+            utilization[name] = total / queue.service_rate
+        return JacksonSolution(
+            network=self, throughputs=per_flow, utilization=utilization
+        )
+
+    def _flow_index(self, queue: str, cls: str) -> int:
+        if queue not in self.queues:
+            raise ValueError(f"unknown queue {queue!r}")
+        if cls not in self.classes:
+            raise ValueError(f"unknown class {cls!r}")
+        return self._index[(queue, cls)]
+
+
+@dataclass
+class JacksonSolution:
+    """Solved traffic equations plus product-form distributions."""
+
+    network: JacksonNetwork
+    throughputs: Dict[Flow, float]
+    utilization: Dict[str, float]
+
+    def is_stable(self, queue: str | None = None) -> bool:
+        """True if the given queue (or every queue) has rho < 1."""
+        if queue is not None:
+            return self.utilization[queue] < 1.0
+        return all(rho < 1.0 for rho in self.utilization.values())
+
+    def class_mix(self, queue: str) -> Dict[str, float]:
+        """Fraction of ``queue``'s throughput contributed by each class."""
+        total = sum(
+            self.throughputs[(queue, c)] for c in self.network.classes
+        )
+        if total == 0:
+            return {c: 0.0 for c in self.network.classes}
+        return {
+            c: self.throughputs[(queue, c)] / total
+            for c in self.network.classes
+        }
+
+    def mean_number(self, queue: str, cls: str | None = None) -> float:
+        """E[number in system] at ``queue`` (optionally of one class)."""
+        rho = self.utilization[queue]
+        if rho >= 1.0:
+            return float("inf")
+        total = rho / (1.0 - rho)
+        if cls is None:
+            return total
+        return total * self.class_mix(queue)[cls]
+
+    def joint_pmf(self, queue: str, counts: Dict[str, int]) -> float:
+        """Product-form p(n_1, ..., n_K) for one queue.
+
+        ``counts`` maps class name -> occupancy.  This is the displayed
+        equation of Section 3:
+
+            p(n_I, n_C) = ((n_I+n_C)! / (n_I! n_C!))
+                          (lam_I/lam)^{n_I} (lam_C/lam)^{n_C}
+                          (1 - rho) rho^{n_I+n_C}
+        """
+        rho = self.utilization[queue]
+        if rho >= 1.0:
+            raise ValueError(f"queue {queue!r} is unstable (rho={rho:.4f})")
+        missing = set(counts) - set(self.network.classes)
+        if missing:
+            raise ValueError(f"unknown classes {sorted(missing)}")
+        mix = self.class_mix(queue)
+        n_total = sum(counts.values())
+        if any(v < 0 for v in counts.values()):
+            raise ValueError("occupancies must be non-negative")
+        coefficient = math.factorial(n_total)
+        probability = (1.0 - rho) * rho**n_total
+        for cls in self.network.classes:
+            n_cls = counts.get(cls, 0)
+            coefficient //= math.factorial(n_cls)
+            probability *= mix[cls] ** n_cls
+        return coefficient * probability
+
+    def marginal_pmf(self, queue: str, n: int) -> float:
+        """P[N = n] at ``queue``: geometric (1-rho) rho^n."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        rho = self.utilization[queue]
+        if rho >= 1.0:
+            raise ValueError(f"queue {queue!r} is unstable (rho={rho:.4f})")
+        return (1.0 - rho) * rho**n

@@ -1,0 +1,64 @@
+"""Classical M/M/1 queue formulas.
+
+Used by the paper (Section 4) to explain the receive-latency curve of
+Figure 6: with no cold retransmissions the system approximates a
+single-server single-queue system with bandwidth ``mu = mu_data``, whose
+average sojourn time is ``E[w] = 1 / (mu - lambda)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MM1Metrics:
+    """Steady-state metrics of an M/M/1 queue."""
+
+    arrival_rate: float
+    service_rate: float
+    utilization: float
+    mean_number_in_system: float
+    mean_number_in_queue: float
+    mean_sojourn_time: float
+    mean_waiting_time: float
+
+    def prob_n(self, n: int) -> float:
+        """P[N = n] = (1 - rho) rho^n."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        return (1.0 - self.utilization) * self.utilization**n
+
+    def prob_sojourn_exceeds(self, t: float) -> float:
+        """P[W > t] for the exponential sojourn time of M/M/1."""
+        if t < 0:
+            raise ValueError(f"t must be non-negative, got {t}")
+        return math.exp(-(self.service_rate - self.arrival_rate) * t)
+
+
+def mm1_metrics(arrival_rate: float, service_rate: float) -> MM1Metrics:
+    """Solve an M/M/1 queue; raises for an unstable system (rho >= 1)."""
+    if arrival_rate < 0:
+        raise ValueError(f"arrival rate must be non-negative, got {arrival_rate}")
+    if service_rate <= 0:
+        raise ValueError(f"service rate must be positive, got {service_rate}")
+    rho = arrival_rate / service_rate
+    if rho >= 1.0:
+        raise ValueError(
+            f"unstable queue: rho = {rho:.4f} >= 1 "
+            f"(lambda={arrival_rate}, mu={service_rate})"
+        )
+    mean_n = rho / (1.0 - rho)
+    mean_nq = rho * rho / (1.0 - rho)
+    mean_w = 1.0 / (service_rate - arrival_rate)
+    mean_wq = rho / (service_rate - arrival_rate)
+    return MM1Metrics(
+        arrival_rate=arrival_rate,
+        service_rate=service_rate,
+        utilization=rho,
+        mean_number_in_system=mean_n,
+        mean_number_in_queue=mean_nq,
+        mean_sojourn_time=mean_w,
+        mean_waiting_time=mean_wq,
+    )

@@ -1,0 +1,270 @@
+"""Closed-form analysis of the open-loop announce/listen protocol.
+
+This is Section 3 of the paper.  Records arrive at rate ``lam`` into a
+single FIFO server of rate ``mu`` (the session bandwidth).  Each service
+transmits the head record over a channel with per-transmission loss
+probability ``p_loss``; after service the record exits (dies) with
+probability ``p_death``, otherwise it re-enters the queue in the
+"inconsistent" class (if the transmission was lost and it had never been
+received) or in the "consistent" class.
+
+Flow balance (the paper's traffic equations) gives
+
+    lam_I = lam / (1 - p_loss (1 - p_death))
+    lam_C = (1 - p_loss)(1 - p_death) lam
+            / (p_death (1 - p_loss (1 - p_death)))
+    lam_total = lam / p_death,     rho = lam / (p_death mu)
+
+and the average system consistency
+
+    E[c(t)] = (1 - p_loss)(1 - p_death) / (1 - p_loss (1 - p_death))
+              * lam / (p_death mu)
+            = q * rho,   q = lam_C / lam_total.
+
+For rho >= 1 the queue is overloaded; following the paper's Figure 3
+(which plots the formula across death rates that imply rho > 1 at its
+operating point) we extend the curve continuously as
+E[c] = q * min(rho, 1) and mark the solution unstable.  Note this
+extension is an *optimistic bound*: a truly overloaded queue accumulates
+never-served inconsistent arrivals, so its long-run consistency decays
+below q (the queue-model simulation demonstrates this; see
+``tests/protocols/test_queue_model.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.jackson import JacksonNetwork, JacksonSolution, QueueSpec
+
+#: Class labels used throughout (paper's "inconsistent"/"consistent").
+INCONSISTENT = "inconsistent"
+CONSISTENT = "consistent"
+
+
+def _validate_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def transition_matrix(p_loss: float, p_death: float) -> Dict[str, Dict[str, float]]:
+    """Table 1 of the paper: state-change probabilities at service end.
+
+    Rows are the entering class, columns the outcome
+    (``inconsistent``, ``consistent``, ``exit``).
+    """
+    _validate_probability("p_loss", p_loss)
+    _validate_probability("p_death", p_death)
+    return {
+        INCONSISTENT: {
+            INCONSISTENT: p_loss * (1.0 - p_death),
+            CONSISTENT: (1.0 - p_loss) * (1.0 - p_death),
+            "exit": p_death,
+        },
+        CONSISTENT: {
+            INCONSISTENT: 0.0,
+            CONSISTENT: 1.0 - p_death,
+            "exit": p_death,
+        },
+    }
+
+
+def consistent_fraction(p_loss: float, p_death: float) -> float:
+    """q = lam_C / lam_total, the served traffic that is already consistent.
+
+    This equals the redundant-bandwidth fraction of Figure 4.
+    """
+    _validate_probability("p_loss", p_loss)
+    _validate_probability("p_death", p_death)
+    if p_death == 0.0:
+        # Records never die: in steady state every service is eventually
+        # redundant (the system is not positive recurrent; take the limit).
+        return 1.0 - p_loss if p_loss == 1.0 else 1.0
+    return (
+        (1.0 - p_loss)
+        * (1.0 - p_death)
+        / (1.0 - p_loss * (1.0 - p_death))
+    )
+
+
+def redundant_bandwidth_fraction(p_loss: float, p_death: float) -> float:
+    """Figure 4: fraction of bandwidth spent retransmitting consistent data."""
+    return consistent_fraction(p_loss, p_death)
+
+
+def expected_consistency(
+    p_loss: float, p_death: float, update_rate: float, channel_rate: float
+) -> float:
+    """Figure 3: E[c(t)] = q * min(rho, 1).
+
+    ``update_rate`` (lam) and ``channel_rate`` (mu) may be in any common
+    unit (kbps, packets/s) since only their ratio matters.
+    """
+    if update_rate < 0:
+        raise ValueError(f"update_rate must be non-negative, got {update_rate}")
+    if channel_rate <= 0:
+        raise ValueError(f"channel_rate must be positive, got {channel_rate}")
+    if p_death == 0.0:
+        # With no deaths every record is eventually received: fully
+        # consistent in the long run (and the queue is overloaded).
+        return 1.0 if p_loss < 1.0 else 0.0
+    _validate_probability("p_loss", p_loss)
+    _validate_probability("p_death", p_death)
+    rho = update_rate / (p_death * channel_rate)
+    return consistent_fraction(p_loss, p_death) * min(rho, 1.0)
+
+
+def eventual_receipt_probability(p_loss: float, p_death: float) -> float:
+    """P[a record is received at least once before it dies].
+
+    Per attempt the record is received w.p. (1-p_loss); a lost attempt
+    is followed by death w.p. p_death.  Summing the geometric series:
+    (1-p_loss) / (1 - p_loss (1 - p_death)).
+    """
+    _validate_probability("p_loss", p_loss)
+    _validate_probability("p_death", p_death)
+    if p_loss == 1.0:
+        return 0.0
+    return (1.0 - p_loss) / (1.0 - p_loss * (1.0 - p_death))
+
+
+@dataclass(frozen=True)
+class OpenLoopSolution:
+    """All Section 3 quantities for one parameter point."""
+
+    update_rate: float
+    channel_rate: float
+    p_loss: float
+    p_death: float
+    lambda_inconsistent: float
+    lambda_consistent: float
+    lambda_total: float
+    utilization: float
+    stable: bool
+    expected_consistency: float
+    redundant_fraction: float
+    receipt_probability: float
+    mean_receive_latency: float
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dict view (experiment harness table rows)."""
+        return {
+            "p_loss": self.p_loss,
+            "p_death": self.p_death,
+            "rho": self.utilization,
+            "consistency": self.expected_consistency,
+            "redundant_fraction": self.redundant_fraction,
+            "receive_latency": self.mean_receive_latency,
+        }
+
+
+class OpenLoopModel:
+    """The paper's single-queue, two-class model of announce/listen."""
+
+    def __init__(
+        self,
+        update_rate: float,
+        channel_rate: float,
+        p_loss: float,
+        p_death: float,
+    ) -> None:
+        if update_rate < 0:
+            raise ValueError(
+                f"update_rate must be non-negative, got {update_rate}"
+            )
+        if channel_rate <= 0:
+            raise ValueError(
+                f"channel_rate must be positive, got {channel_rate}"
+            )
+        _validate_probability("p_loss", p_loss)
+        _validate_probability("p_death", p_death)
+        if p_death == 0.0:
+            raise ValueError(
+                "p_death must be positive (records must eventually die "
+                "for the model to have a steady state)"
+            )
+        self.update_rate = update_rate
+        self.channel_rate = channel_rate
+        self.p_loss = p_loss
+        self.p_death = p_death
+
+    def to_jackson(self) -> JacksonNetwork:
+        """Express the model as a one-queue, two-class Jackson network.
+
+        Routing comes straight from Table 1: this is the cross-check
+        between the closed forms and the generic solver.
+        """
+        network = JacksonNetwork(
+            [QueueSpec("channel", self.channel_rate)],
+            [INCONSISTENT, CONSISTENT],
+        )
+        network.add_arrival("channel", INCONSISTENT, self.update_rate)
+        table = transition_matrix(self.p_loss, self.p_death)
+        for src in (INCONSISTENT, CONSISTENT):
+            for dst in (INCONSISTENT, CONSISTENT):
+                probability = table[src][dst]
+                if probability > 0:
+                    network.set_routing(
+                        "channel", src, "channel", dst, probability
+                    )
+        return network
+
+    def solve(self) -> OpenLoopSolution:
+        """Evaluate every closed form at this parameter point."""
+        denom = 1.0 - self.p_loss * (1.0 - self.p_death)
+        lambda_i = self.update_rate / denom
+        lambda_c = (
+            (1.0 - self.p_loss)
+            * (1.0 - self.p_death)
+            * self.update_rate
+            / (self.p_death * denom)
+        )
+        lambda_total = self.update_rate / self.p_death
+        rho = lambda_total / self.channel_rate
+        return OpenLoopSolution(
+            update_rate=self.update_rate,
+            channel_rate=self.channel_rate,
+            p_loss=self.p_loss,
+            p_death=self.p_death,
+            lambda_inconsistent=lambda_i,
+            lambda_consistent=lambda_c,
+            lambda_total=lambda_total,
+            utilization=rho,
+            stable=rho < 1.0,
+            expected_consistency=expected_consistency(
+                self.p_loss,
+                self.p_death,
+                self.update_rate,
+                self.channel_rate,
+            ),
+            redundant_fraction=redundant_bandwidth_fraction(
+                self.p_loss, self.p_death
+            ),
+            receipt_probability=eventual_receipt_probability(
+                self.p_loss, self.p_death
+            ),
+            mean_receive_latency=self.mean_receive_latency(),
+        )
+
+    def solve_jackson(self) -> JacksonSolution:
+        """Solve the equivalent Jackson network with the generic solver."""
+        return self.to_jackson().solve()
+
+    def mean_receive_latency(self) -> float:
+        """Approximate E[T_recv]: latency to first successful receipt.
+
+        Conditioned on eventual receipt, the number of service attempts
+        is geometric with ratio p_loss (1 - p_death), so the expected
+        attempt count is 1 / (1 - p_loss (1 - p_death)); each attempt
+        costs one M/M/1 sojourn 1 / (mu - lam_total).  Infinite for an
+        unstable queue.  (An approximation: attempts of one record are
+        not independent sojourns, but it matches simulation well at
+        moderate load — see tests.)
+        """
+        lambda_total = self.update_rate / self.p_death
+        if lambda_total >= self.channel_rate:
+            return float("inf")
+        attempts = 1.0 / (1.0 - self.p_loss * (1.0 - self.p_death))
+        sojourn = 1.0 / (self.channel_rate - lambda_total)
+        return attempts * sojourn

@@ -1,0 +1,157 @@
+"""Approximate analysis of the two-queue (hot/cold) scheme.
+
+The paper notes its two-level scheduling model "is not analytically
+tractable using Jackson's theorem" and studies it by simulation
+(Figures 5-6).  This module provides a *documented first-order
+approximation* — useful for capacity planning and for sanity-checking
+the simulator — validated against :class:`~repro.protocols.TwoQueueSession`
+in the tests (agreement within ~0.1 in consistency over the stable
+operating region).
+
+Model and assumptions
+---------------------
+Arrivals Poisson(``lam``); exponential record lifetimes with mean ``L``;
+data bandwidth ``mu`` split ``hot_share`` : 1-``hot_share``; loss
+probability ``p`` per transmission; no feedback.
+
+* Hot queue: approximately M/M/1 with arrival rate lam and service rate
+  ``mu_hot``; first-transmission delay W_h = 1/(mu_hot - lam).
+  Requires mu_hot > lam (the Figure 5/10 knee).
+* Cold ring: all live records (Little: N = lam * L) cycle at ``mu_cold``,
+  so consecutive retransmissions of one record are T_c = N/mu_cold
+  apart.
+* A record is inconsistent for a window D = W_h + K * T_c where
+  K ~ Geometric(1-p) counts the lost transmissions before the first
+  success.
+* With an exponential lifetime T ~ Exp(1/L), the expected consistent
+  fraction of a record's life given a deterministic window d is
+  E[max(T-d, 0)] / E[T] = e^{-d/L}.  Averaging over K:
+
+      c  ~=  (1-p) e^{-W_h/L} / (1 - p e^{-T_c/L})
+
+Known biases: the hot-queue wait is correlated with load bursts, cold
+ring membership varies, and work conservation lets cold borrow idle hot
+slots — all second-order at moderate utilisation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TwoQueueApproximation:
+    """Closed-form estimates for the hot/cold scheme."""
+
+    update_rate: float
+    data_rate: float
+    hot_share: float
+    loss_rate: float
+    lifetime_mean: float
+
+    def __post_init__(self) -> None:
+        if self.update_rate <= 0:
+            raise ValueError(
+                f"update_rate must be positive, got {self.update_rate}"
+            )
+        if self.data_rate <= 0:
+            raise ValueError(
+                f"data_rate must be positive, got {self.data_rate}"
+            )
+        if not 0.0 < self.hot_share < 1.0:
+            raise ValueError(
+                f"hot_share must be in (0, 1), got {self.hot_share}"
+            )
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}"
+            )
+        if self.lifetime_mean <= 0:
+            raise ValueError(
+                f"lifetime_mean must be positive, got {self.lifetime_mean}"
+            )
+
+    @property
+    def hot_rate(self) -> float:
+        return self.hot_share * self.data_rate
+
+    @property
+    def cold_rate(self) -> float:
+        return (1.0 - self.hot_share) * self.data_rate
+
+    @property
+    def is_stable(self) -> bool:
+        """The Figure 5/10 operating condition: mu_hot > lam."""
+        return self.hot_rate > self.update_rate
+
+    @property
+    def live_records(self) -> float:
+        """Little's law: N = lam * L records alive on average."""
+        return self.update_rate * self.lifetime_mean
+
+    @property
+    def hot_wait(self) -> float:
+        """M/M/1 sojourn of the first (hot) transmission."""
+        if not self.is_stable:
+            return math.inf
+        return 1.0 / (self.hot_rate - self.update_rate)
+
+    @property
+    def cold_cycle(self) -> float:
+        """Time between successive cold retransmissions of one record."""
+        if self.cold_rate <= 0:
+            return math.inf
+        return self.live_records / self.cold_rate
+
+    def consistency(self) -> float:
+        """Approximate E[c(t)] (see module docstring for derivation)."""
+        if not self.is_stable:
+            # Hot overload: new records queue indefinitely; only the
+            # served fraction mu_hot/lam ever has a chance, and each
+            # surviving record still pays the loss/cold machinery.
+            served = self.hot_rate / self.update_rate
+            return served * (1.0 - self.loss_rate) * 0.5
+        p = self.loss_rate
+        L = self.lifetime_mean
+        first = math.exp(-self.hot_wait / L)
+        if p == 0.0:
+            return first
+        cycle_factor = (
+            math.exp(-self.cold_cycle / L)
+            if self.cold_cycle != math.inf
+            else 0.0
+        )
+        return (1.0 - p) * first / (1.0 - p * cycle_factor)
+
+    def receive_latency(self) -> float:
+        """Approximate E[T_recv] over eventually-received records.
+
+        Conditioning on receipt matters: a record that needs k cold
+        retries must *survive* k cycles to be counted, so long windows
+        are under-represented in the measured mean.  Weighting the
+        geometric retry count by the survival probability e^{-kT_c/L}
+        gives, with a = p e^{-T_c/L}:
+
+            E[T_recv | received] = W_h + T_c a / (1 - a)
+        """
+        if not self.is_stable:
+            return math.inf
+        p = self.loss_rate
+        if p == 0.0:
+            return self.hot_wait
+        if self.cold_cycle == math.inf:
+            return self.hot_wait  # only never-lost records are received
+        survival_ratio = p * math.exp(
+            -self.cold_cycle / self.lifetime_mean
+        )
+        return self.hot_wait + self.cold_cycle * survival_ratio / (
+            1.0 - survival_ratio
+        )
+
+    def optimal_hot_share(self, headroom: float = 1.15) -> float:
+        """The allocator rule: just enough hot bandwidth for arrivals."""
+        if headroom < 1.0:
+            raise ValueError(f"headroom must be >= 1, got {headroom}")
+        share = headroom * self.update_rate / self.data_rate
+        return min(max(share, 0.01), 0.99)

@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro``.
+
+Three subcommands:
+
+* ``analyze``    — evaluate the Section 3 closed forms at a parameter
+  point (consistency, waste, latency, stability);
+* ``simulate``   — run one protocol session (open-loop | two-queue |
+  feedback | arq | multicast | sstp) and print its metrics;
+* ``experiment`` — alias for ``python -m repro.experiments``.
+
+Examples::
+
+    python -m repro analyze --p-loss 0.1 --p-death 0.2 \
+        --update-rate 20 --channel-rate 128
+    python -m repro simulate feedback --loss 0.3 --data-kbps 40 \
+        --feedback-kbps 5 --update-rate 15 --horizon 400
+    python -m repro experiment figure8 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import OpenLoopModel
+from repro.experiments.__main__ import main as experiments_main
+from repro.protocols import (
+    ArqSession,
+    FeedbackSession,
+    MulticastFeedbackSession,
+    OpenLoopSession,
+    TwoQueueSession,
+)
+from repro.sstp import ReliabilityLevel, SstpSession
+
+
+def _analyze(args: argparse.Namespace) -> int:
+    solution = OpenLoopModel(
+        update_rate=args.update_rate,
+        channel_rate=args.channel_rate,
+        p_loss=args.p_loss,
+        p_death=args.p_death,
+    ).solve()
+    print(f"utilization rho      : {solution.utilization:.4f}"
+          + ("" if solution.stable else "  (UNSTABLE)"))
+    print(f"expected consistency : {solution.expected_consistency:.4f}")
+    print(f"redundant bandwidth  : {solution.redundant_fraction:.2%}")
+    print(f"receipt probability  : {solution.receipt_probability:.4f}")
+    latency = solution.mean_receive_latency
+    if latency == float("inf"):
+        print("mean receive latency : inf (overloaded)")
+    else:
+        print(f"mean receive latency : {latency:.4f} s")
+    return 0
+
+
+def _simulate(args: argparse.Namespace) -> int:
+    common = dict(
+        loss_rate=args.loss,
+        update_rate=args.update_rate,
+        lifetime_mean=args.lifetime,
+        seed=args.seed,
+    )
+    if args.protocol == "open-loop":
+        session = OpenLoopSession(data_kbps=args.data_kbps, **common)
+    elif args.protocol == "two-queue":
+        session = TwoQueueSession(
+            hot_share=args.hot_share, data_kbps=args.data_kbps, **common
+        )
+    elif args.protocol == "feedback":
+        session = FeedbackSession(
+            hot_share=args.hot_share,
+            data_kbps=args.data_kbps,
+            feedback_kbps=args.feedback_kbps,
+            **common,
+        )
+    elif args.protocol == "arq":
+        session = ArqSession(
+            data_kbps=args.data_kbps,
+            ack_kbps=max(args.feedback_kbps, 1.0),
+            **common,
+        )
+    elif args.protocol == "multicast":
+        session = MulticastFeedbackSession(
+            n_receivers=args.receivers,
+            data_kbps=args.data_kbps,
+            feedback_kbps=max(args.feedback_kbps, 0.5),
+            hot_share=args.hot_share,
+            **common,
+        )
+    elif args.protocol == "sstp":
+        return _simulate_sstp(args)
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.protocol)
+
+    result = session.run(horizon=args.horizon, warmup=args.horizon / 5.0)
+    print(f"protocol             : {args.protocol}")
+    print(f"consistency          : {result.consistency:.4f}")
+    print(f"mean receive latency : {result.mean_receive_latency:.4f} s")
+    print(f"data packets         : {result.data_packets}")
+    if hasattr(result, "redundant_fraction"):
+        print(f"redundant bandwidth  : {result.redundant_fraction:.2%}")
+    if getattr(result, "nacks_sent", 0):
+        print(f"NACKs sent           : {result.nacks_sent}")
+    if getattr(result, "nacks_suppressed", 0):
+        print(f"NACKs suppressed     : {result.nacks_suppressed}")
+    return 0
+
+
+def _simulate_sstp(args: argparse.Namespace) -> int:
+    import random
+
+    session = SstpSession(
+        total_kbps=args.data_kbps + args.feedback_kbps,
+        n_receivers=args.receivers,
+        loss_rate=args.loss,
+        reliability=ReliabilityLevel.RELIABLE,
+        seed=args.seed,
+        adapt_interval=None,
+    )
+    rng = random.Random(args.seed)
+
+    def publisher(env):
+        index = 0
+        # Scale kbps to packets/s: 1 packet = 1 kbit.
+        while True:
+            yield env.timeout(rng.expovariate(max(args.update_rate, 0.01)))
+            session.publish(f"data/item{index}", index)
+            index += 1
+
+    session.env.process(publisher(session.env))
+    result = session.run(horizon=args.horizon, warmup=args.horizon / 5.0)
+    print("protocol             : sstp (reliable)")
+    print(f"consistency          : {result.consistency:.4f}")
+    print(f"mean receive latency : {result.mean_receive_latency:.4f} s")
+    print(f"ADU / summary pkts   : {result.adu_packets} / {result.summary_packets}")
+    print(f"repair requests      : {result.repair_requests}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Soft state-based communication (SIGCOMM '99), reproduced.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser(
+        "analyze", help="evaluate the open-loop closed forms"
+    )
+    analyze.add_argument("--p-loss", type=float, required=True)
+    analyze.add_argument("--p-death", type=float, required=True)
+    analyze.add_argument("--update-rate", type=float, default=20.0)
+    analyze.add_argument("--channel-rate", type=float, default=128.0)
+    analyze.set_defaults(func=_analyze)
+
+    simulate = sub.add_parser("simulate", help="run one protocol session")
+    simulate.add_argument(
+        "protocol",
+        choices=[
+            "open-loop",
+            "two-queue",
+            "feedback",
+            "arq",
+            "multicast",
+            "sstp",
+        ],
+    )
+    simulate.add_argument("--loss", type=float, default=0.1)
+    simulate.add_argument("--data-kbps", type=float, default=45.0)
+    simulate.add_argument("--feedback-kbps", type=float, default=5.0)
+    simulate.add_argument("--hot-share", type=float, default=0.5)
+    simulate.add_argument("--update-rate", type=float, default=15.0)
+    simulate.add_argument("--lifetime", type=float, default=20.0)
+    simulate.add_argument("--receivers", type=int, default=1)
+    simulate.add_argument("--horizon", type=float, default=300.0)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=_simulate)
+
+    experiment = sub.add_parser(
+        "experiment", help="reproduce paper tables/figures"
+    )
+    experiment.add_argument("experiments", nargs="*", metavar="ID")
+    experiment.add_argument("--quick", action="store_true")
+    experiment.add_argument("--plot", action="store_true")
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.set_defaults(func=None)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "experiment":
+        forwarded = list(args.experiments)
+        if args.quick:
+            forwarded.append("--quick")
+        if args.plot:
+            forwarded.append("--plot")
+        forwarded.extend(["--seed", str(args.seed)])
+        return experiments_main(forwarded)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Soft-state core: the paper's Section 2 data model and metrics.
+
+* :mod:`repro.core.record` — the evolving table of {key, value} pairs
+  kept by the publisher and mirrored (with expiry timers) by each
+  subscriber;
+* :mod:`repro.core.consistency` — the consistency metric c(k,t), the
+  instantaneous system consistency c(t), and its time average E[c(t)];
+* :mod:`repro.core.metrics` — receive latency T_recv and bandwidth
+  accounting (useful vs redundant vs feedback bits);
+* :mod:`repro.core.profiles` — empirical consistency profiles used by
+  SSTP's profile-driven bandwidth allocator.
+"""
+
+from repro.core.record import Record, SoftStateTable
+from repro.core.consistency import ConsistencyMeter
+from repro.core.metrics import BandwidthLedger, LatencyRecorder
+from repro.core.profiles import (
+    ConsistencyProfile,
+    LatencyPoint,
+    LatencyProfile,
+    ProfilePoint,
+)
+
+__all__ = [
+    "BandwidthLedger",
+    "ConsistencyMeter",
+    "ConsistencyProfile",
+    "LatencyPoint",
+    "LatencyProfile",
+    "LatencyRecorder",
+    "ProfilePoint",
+    "Record",
+    "SoftStateTable",
+]

@@ -1,0 +1,147 @@
+"""The paper's consistency metric.
+
+Section 2.1 defines, for a live key k, c(k,t) = Pr[P.val(k) = Q.val(k)];
+the instantaneous system consistency c(t) is the average of c(k,t) over
+the live data set L(t), and the average system consistency E[c(t)] is
+the long-run time average of c(t).  Empirically (in a single simulation
+run) c(k,t) is the 0/1 indicator that subscriber and publisher agree on
+k, so c(t) is simply the matched fraction of L(t), and E[c(t)] is its
+time integral divided by the horizon — exactly how the paper says the
+metric "provides us with a method to empirically compute" it.
+
+The paper's closed forms implicitly count instants with an empty live
+set as zero consistency (the busy-probability factor rho in E[c]).  The
+meter makes that convention explicit and configurable:
+
+* ``empty_policy="zero"``  — empty system counts as c(t) = 0 (paper);
+* ``empty_policy="one"``   — vacuously consistent;
+* ``empty_policy="skip"``  — empty intervals excluded from the average.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.record import SoftStateTable
+
+_POLICIES = ("zero", "one", "skip")
+
+
+class ConsistencyMeter:
+    """Time-weighted consistency between one publisher and subscribers.
+
+    The meter samples c(t) lazily: call :meth:`observe` whenever system
+    state may have changed (packet delivery, arrival, expiry).  Between
+    observations c(t) is treated as constant, which is exact when every
+    state change is followed by an observe() — the protocol simulators
+    do exactly that.
+    """
+
+    def __init__(
+        self,
+        publisher: SoftStateTable,
+        subscribers: Iterable[SoftStateTable],
+        empty_policy: str = "zero",
+        start_time: float = 0.0,
+    ) -> None:
+        if empty_policy not in _POLICIES:
+            raise ValueError(
+                f"empty_policy must be one of {_POLICIES}, got {empty_policy!r}"
+            )
+        self.publisher = publisher
+        self.subscribers = list(subscribers)
+        if not self.subscribers:
+            raise ValueError("need at least one subscriber")
+        self.empty_policy = empty_policy
+        self._last_time = start_time
+        self._last_value: Optional[float] = None  # None = live set empty
+        self._weighted_sum = 0.0
+        self._observed_duration = 0.0
+        self._total_duration = 0.0
+        self._series: List[Tuple[float, float]] = []
+        self._record_series = False
+
+    # -- sampling -----------------------------------------------------------
+    def instantaneous(self, now: float) -> Optional[float]:
+        """c(t) right now, or None if the live set is empty."""
+        live = self.publisher.live_records(now)
+        if not live:
+            return None
+        matched = 0
+        total = 0
+        for subscriber in self.subscribers:
+            for record in live:
+                total += 1
+                mirror = subscriber.get(record.key)
+                if (
+                    mirror is not None
+                    and mirror.is_subscriber_live(now)
+                    and mirror.value == record.value
+                ):
+                    matched += 1
+        return matched / total
+
+    def observe(self, now: float) -> None:
+        """Fold the interval since the last observation into the average."""
+        if now < self._last_time:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_time}"
+            )
+        interval = now - self._last_time
+        if interval > 0:
+            self._accumulate(interval)
+            self._total_duration += interval
+            self._last_time = now
+        self._last_value = self.instantaneous(now)
+        if self._record_series:
+            self._series.append(
+                (now, self._effective_value(self._last_value))
+            )
+
+    def _accumulate(self, interval: float) -> None:
+        value = self._last_value
+        if value is None:
+            if self.empty_policy == "skip":
+                return
+            value = 0.0 if self.empty_policy == "zero" else 1.0
+        self._weighted_sum += value * interval
+        self._observed_duration += interval
+
+    def _effective_value(self, value: Optional[float]) -> float:
+        if value is not None:
+            return value
+        if self.empty_policy == "one":
+            return 1.0
+        return 0.0
+
+    # -- results --------------------------------------------------------------
+    def average(self) -> float:
+        """E[c(t)]: the time average of c(t) so far."""
+        if self._observed_duration == 0:
+            return 0.0
+        return self._weighted_sum / self._observed_duration
+
+    @property
+    def duration(self) -> float:
+        """Total time folded into the average (excludes skipped gaps)."""
+        return self._observed_duration
+
+    def enable_series(self) -> None:
+        """Record a (time, c(t)) series at every observation (Figure 8)."""
+        self._record_series = True
+
+    @property
+    def series(self) -> List[Tuple[float, float]]:
+        return list(self._series)
+
+    def running_average_series(self) -> List[Tuple[float, float]]:
+        """(time, running E[c]) pairs — what Figure 8 actually plots."""
+        result = []
+        weighted = 0.0
+        duration = 0.0
+        for (t0, value), (t1, _) in zip(self._series, self._series[1:]):
+            weighted += value * (t1 - t0)
+            duration += t1 - t0
+            if duration > 0:
+                result.append((t1, weighted / duration))
+        return result

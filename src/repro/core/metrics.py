@@ -1,0 +1,139 @@
+"""Receive latency and bandwidth accounting.
+
+The paper's second metric (Section 2.1) is the receive latency T_recv:
+the time from the instant a new or updated {key, value} pair enters the
+system until a receiver first holds it.  Its bandwidth discussion
+(Figure 4 and Sections 4-6) distinguishes useful transmissions (a datum
+the receiver did not have) from redundant retransmissions and from
+feedback traffic; :class:`BandwidthLedger` keeps those books.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class LatencyRecorder:
+    """Tracks per-(key, version) introduction and first-receipt times.
+
+    Only successfully received items contribute to the mean — exactly
+    the convention the paper uses ("the average T_recv is measured only
+    over all successful transmissions").
+    """
+
+    def __init__(self) -> None:
+        self._introduced: Dict[Tuple[Any, int], float] = {}
+        self._latencies: List[float] = []
+
+    def introduced(self, key: Any, version: int, now: float) -> None:
+        """A new value for (key, version) entered the publisher table."""
+        self._introduced.setdefault((key, version), now)
+
+    def received(self, key: Any, version: int, now: float) -> Optional[float]:
+        """First receipt at a subscriber; returns the latency if new."""
+        start = self._introduced.pop((key, version), None)
+        if start is None:
+            return None  # duplicate receipt or never tracked
+        latency = now - start
+        self._latencies.append(latency)
+        return latency
+
+    def abandoned(self, key: Any, version: int) -> None:
+        """The record died before any receipt: drop it from tracking."""
+        self._introduced.pop((key, version), None)
+
+    @property
+    def count(self) -> int:
+        return len(self._latencies)
+
+    @property
+    def pending(self) -> int:
+        """Items introduced but never received (yet)."""
+        return len(self._introduced)
+
+    def mean(self) -> float:
+        if not self._latencies:
+            return math.nan
+        return sum(self._latencies) / len(self._latencies)
+
+    def percentile(self, q: float) -> float:
+        """Empirical percentile (q in [0, 100]) of receive latency."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if not self._latencies:
+            return math.nan
+        ordered = sorted(self._latencies)
+        position = (len(ordered) - 1) * q / 100.0
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def max(self) -> float:
+        return max(self._latencies) if self._latencies else math.nan
+
+
+class BandwidthLedger:
+    """Bits sent, broken down by purpose.
+
+    Categories:
+
+    * ``new``       — first transmission of a (key, version);
+    * ``redundant`` — retransmission of data the receiver already held
+      (the Figure 4 waste);
+    * ``repair``    — retransmission triggered by or needed for recovery
+      (receiver did not hold the datum);
+    * ``summary``   — SSTP namespace digest announcements;
+    * ``feedback``  — NACKs and receiver reports.
+    """
+
+    CATEGORIES = ("new", "redundant", "repair", "summary", "feedback")
+
+    def __init__(self) -> None:
+        self._bits: Dict[str, float] = {c: 0.0 for c in self.CATEGORIES}
+        self._packets: Dict[str, int] = {c: 0 for c in self.CATEGORIES}
+
+    def add(self, category: str, bits: float, packets: int = 1) -> None:
+        if category not in self._bits:
+            raise ValueError(
+                f"unknown category {category!r}; expected one of "
+                f"{self.CATEGORIES}"
+            )
+        if bits < 0:
+            raise ValueError(f"bits must be non-negative, got {bits}")
+        self._bits[category] += bits
+        self._packets[category] += packets
+
+    def bits(self, category: str) -> float:
+        if category not in self._bits:
+            raise ValueError(f"unknown category {category!r}")
+        return self._bits[category]
+
+    def packets(self, category: str) -> int:
+        if category not in self._packets:
+            raise ValueError(f"unknown category {category!r}")
+        return self._packets[category]
+
+    @property
+    def total_bits(self) -> float:
+        return sum(self._bits.values())
+
+    @property
+    def data_bits(self) -> float:
+        """Forward-path bits (everything except feedback)."""
+        return self.total_bits - self._bits["feedback"]
+
+    def fraction(self, category: str) -> float:
+        """Share of *data* bits in ``category`` (feedback measured vs total)."""
+        base = self.total_bits if category == "feedback" else self.data_bits
+        if base == 0:
+            return 0.0
+        return self.bits(category) / base
+
+    def redundant_fraction(self) -> float:
+        """The Figure 4 statistic: wasted share of the data bandwidth."""
+        return self.fraction("redundant")
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._bits)

@@ -1,0 +1,192 @@
+"""The soft-state data model: an evolving table of {key, value} pairs.
+
+Figure 1 of the paper: a publisher maintains a table of records and may
+insert, update, or delete them at any time; each record has a bounded
+lifetime after which it is eliminated.  Subscribers maintain a local
+copy; each received announcement refreshes a per-record expiration
+timer, and a record whose timer lapses is deleted (soft-state expiry).
+
+:class:`SoftStateTable` serves both roles.  In publisher mode records
+expire at ``created_at + lifetime``; in subscriber mode they expire at
+``last_refreshed + hold_time``.  Expiry is lazy: callers advance the
+table with :meth:`SoftStateTable.expire` (typically on every simulation
+event), which fires the registered ``on_expire`` callbacks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass
+class Record:
+    """One {key, value} pair with lifetime/refresh bookkeeping.
+
+    ``version`` increases on every update of the same key so receivers
+    can distinguish stale announcements from fresh ones; value equality
+    plus version equality defines per-key consistency.
+    """
+
+    key: Any
+    value: Any
+    version: int = 0
+    created_at: float = 0.0
+    lifetime: float = math.inf
+    last_refreshed: float = 0.0
+    hold_time: float = math.inf
+    #: Number of times the publisher has announced this record.
+    announcements: int = 0
+
+    @property
+    def publisher_expiry(self) -> float:
+        """When the publisher stops announcing and drops the record."""
+        return self.created_at + self.lifetime
+
+    @property
+    def subscriber_expiry(self) -> float:
+        """When a subscriber's soft-state timer for this record lapses."""
+        return self.last_refreshed + self.hold_time
+
+    def is_publisher_live(self, now: float) -> bool:
+        return now < self.publisher_expiry
+
+    def is_subscriber_live(self, now: float) -> bool:
+        return now < self.subscriber_expiry
+
+
+ExpiryCallback = Callable[[Record, float], None]
+
+
+class SoftStateTable:
+    """A table of soft-state records with lazy timer-based expiry."""
+
+    def __init__(self, role: str = "publisher") -> None:
+        if role not in ("publisher", "subscriber"):
+            raise ValueError(f"role must be publisher|subscriber, got {role!r}")
+        self.role = role
+        self._records: Dict[Any, Record] = {}
+        self._on_expire: List[ExpiryCallback] = []
+        self.inserts = 0
+        self.updates = 0
+        self.deletes = 0
+        self.expirations = 0
+
+    # -- mutation ------------------------------------------------------------
+    def put(
+        self,
+        key: Any,
+        value: Any,
+        now: float,
+        lifetime: float = math.inf,
+        hold_time: float = math.inf,
+        version: Optional[int] = None,
+    ) -> Record:
+        """Insert or update a record.
+
+        A publisher bumps the version on update; a subscriber stores the
+        announced version and refreshes its expiry timer.
+        """
+        if lifetime <= 0:
+            raise ValueError(f"lifetime must be positive, got {lifetime}")
+        if hold_time <= 0:
+            raise ValueError(f"hold_time must be positive, got {hold_time}")
+        existing = self._records.get(key)
+        if existing is None:
+            record = Record(
+                key=key,
+                value=value,
+                version=version if version is not None else 0,
+                created_at=now,
+                lifetime=lifetime,
+                last_refreshed=now,
+                hold_time=hold_time,
+            )
+            self._records[key] = record
+            self.inserts += 1
+            return record
+        if version is None:
+            existing.version += 1
+        elif version < existing.version:
+            # Stale announcement (reordered ADU): refresh the timer but
+            # keep the newer value.
+            existing.last_refreshed = now
+            return existing
+        else:
+            existing.version = version
+        existing.value = value
+        existing.last_refreshed = now
+        existing.hold_time = hold_time
+        existing.lifetime = lifetime
+        existing.created_at = (
+            existing.created_at if self.role == "subscriber" else now
+        )
+        self.updates += 1
+        return existing
+
+    def refresh(self, key: Any, now: float) -> bool:
+        """Reset a subscriber's expiry timer without changing the value."""
+        record = self._records.get(key)
+        if record is None:
+            return False
+        record.last_refreshed = now
+        return True
+
+    def delete(self, key: Any) -> Optional[Record]:
+        """Explicitly remove a record (publisher withdraw)."""
+        record = self._records.pop(key, None)
+        if record is not None:
+            self.deletes += 1
+        return record
+
+    def expire(self, now: float) -> List[Record]:
+        """Drop every record whose timer has lapsed; fire callbacks."""
+        expired = [
+            record
+            for record in self._records.values()
+            if not self._is_live(record, now)
+        ]
+        for record in expired:
+            del self._records[record.key]
+            self.expirations += 1
+            for callback in self._on_expire:
+                callback(record, now)
+        return expired
+
+    def on_expire(self, callback: ExpiryCallback) -> None:
+        """Register ``callback(record, now)`` for timer expirations."""
+        self._on_expire.append(callback)
+
+    def clear(self) -> None:
+        """Drop everything (e.g. a subscriber crash losing its state)."""
+        self._records.clear()
+
+    # -- queries ---------------------------------------------------------------
+    def get(self, key: Any) -> Optional[Record]:
+        return self._records.get(key)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(list(self._records.values()))
+
+    def live_records(self, now: float) -> List[Record]:
+        """The live data set L(t): records whose timers have not lapsed."""
+        return [
+            record
+            for record in self._records.values()
+            if self._is_live(record, now)
+        ]
+
+    def live_keys(self, now: float) -> List[Any]:
+        return [record.key for record in self.live_records(now)]
+
+    def _is_live(self, record: Record, now: float) -> bool:
+        if self.role == "publisher":
+            return record.is_publisher_live(now)
+        return record.is_subscriber_live(now)

@@ -1,0 +1,435 @@
+"""Core of the discrete-event simulation kernel.
+
+The design follows the classic process-interaction style: an
+:class:`Environment` owns a priority queue of scheduled events, and
+:class:`Process` objects wrap Python generators that ``yield`` events to
+wait on.  When a yielded event is *triggered*, the process is resumed with
+the event's value (or the event's exception is thrown into it).
+
+Determinism: events scheduled for the same simulation time are processed
+in (priority, insertion-order), so a seeded simulation is fully
+reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+#: Event priority for "urgent" bookkeeping events (process resumption
+#: after an interrupt, condition bookkeeping).  Lower sorts first.
+URGENT = 0
+#: Default priority for ordinary events.
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation API (not for model errors)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupting party may attach an arbitrary ``cause``.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class _Pending:
+    """Sentinel for an event value that has not been set yet."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<pending>"
+
+
+PENDING = _Pending()
+
+
+class Event:
+    """A happening at a point in simulation time.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or :meth:`fail`
+    triggers it, which schedules it onto the environment's queue; when the
+    environment pops it, all registered callbacks run and the event
+    becomes *processed*.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        #: True once a failure has been delivered to at least one waiter.
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once succeed()/fail() has been called."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the environment has run this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``.
+
+        Waiting processes will have the exception thrown into them.
+        """
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (for chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    # -- composition ------------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        status = (
+            "processed"
+            if self.processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {status} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after ``delay`` units of simulation time."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self._delay}>"
+
+
+class Initialize(Event):
+    """Immediate event used to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self, URGENT, 0.0)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process itself is an event that triggers when the generator
+    returns (successfully, with the generator's return value) or raises
+    (as a failure).  This lets processes wait on each other:
+
+    >>> result = yield env.process(child(env))
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process.
+
+        The process must currently be waiting on an event; the interrupt
+        is delivered as an urgent event so that it takes effect at the
+        current simulation time.
+        """
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        if self._target is None:
+            raise SimulationError(f"{self!r} has not started; cannot interrupt")
+
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env._schedule(interrupt_event, URGENT, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator by one step with ``event``'s outcome."""
+        self.env._active_process = self
+        while True:
+            # Detach from the event we were waiting for.  If an interrupt
+            # arrived while we waited on a still-pending event, we must
+            # deregister our callback from it.
+            if self._target is not None and self._target is not event:
+                if self._target.callbacks is not None:
+                    try:
+                        self._target.callbacks.remove(self._resume)
+                    except ValueError:
+                        pass
+            self._target = None
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.env._schedule(self, NORMAL, 0.0)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self, NORMAL, 0.0)
+                break
+
+            if not isinstance(next_event, Event):
+                exc = SimulationError(
+                    f"process yielded a non-event: {next_event!r}"
+                )
+                event = Event(self.env)
+                event._ok = False
+                event._value = exc
+                event._defused = True
+                continue
+
+            if next_event.callbacks is not None:
+                # Event still pending or triggered-but-not-processed:
+                # register to be resumed when it is processed.
+                self._target = next_event
+                next_event.callbacks.append(self._resume)
+                break
+
+            # Event already processed: loop immediately with its outcome.
+            event = next_event
+
+        self.env._active_process = None
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", str(self._generator))
+        return f"<Process {name} at {id(self):#x}>"
+
+
+class Condition(Event):
+    """Waits for a boolean combination of events (base for All/AnyOf)."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events belong to different environments")
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+            if self.triggered:
+                break
+
+    def _evaluate(self, count: int, total: int) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(self._count, len(self._events)):
+            self.succeed(self._collect_values())
+
+    def _collect_values(self) -> dict:
+        # Only events whose callbacks have already run count as "arrived";
+        # a Timeout carries its value from birth but has not happened yet.
+        return {
+            i: event._value
+            for i, event in enumerate(self._events)
+            if event.processed and event._ok
+        }
+
+
+class AllOf(Condition):
+    """Triggers when *all* constituent events have triggered."""
+
+    def _evaluate(self, count: int, total: int) -> bool:
+        return count == total
+
+
+class AnyOf(Condition):
+    """Triggers when *any* constituent event has triggered."""
+
+    def _evaluate(self, count: int, total: int) -> bool:
+        return count >= 1
+
+
+class Environment:
+    """Execution environment: the event queue and the simulation clock."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling & stepping ----------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        self._eid += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._eid, event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failure nobody waited on: surface it instead of losing it.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        ``until`` may be ``None`` (drain the queue), a number (stop when
+        the clock would pass it), or an :class:`Event` (stop when it is
+        processed and return its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until={stop_time} is in the past (now={self._now})"
+                )
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run() ran out of events before the awaited event fired"
+                )
+            if not stop_event.ok:
+                raise stop_event._value
+            return stop_event._value
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} pending={len(self._queue)}>"

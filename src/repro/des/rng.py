@@ -1,0 +1,49 @@
+"""Deterministic random-number streams for simulations.
+
+Simulations need several independent randomness sources (arrivals, loss,
+lifetimes, scheduling lotteries, ...).  Drawing them all from one
+generator couples unrelated parts of the model: adding a draw in one
+place perturbs every other stream.  :class:`RngStreams` derives a named,
+stable substream per purpose from a single root seed, so results are
+reproducible and streams are decoupled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RngStreams:
+    """A family of named, independently seeded ``random.Random`` streams.
+
+    >>> streams = RngStreams(seed=42)
+    >>> streams["loss"].random() == RngStreams(seed=42)["loss"].random()
+    True
+    >>> streams["loss"] is streams["arrivals"]
+    False
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def __getitem__(self, name: str) -> random.Random:
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(self._derive(name))
+            self._streams[name] = stream
+        return stream
+
+    def _derive(self, name: str) -> int:
+        """Map (root seed, stream name) to a well-mixed 64-bit seed."""
+        digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def spawn(self, name: str) -> "RngStreams":
+        """Create a child family (e.g. one per receiver) with its own root."""
+        return RngStreams(self._derive(f"spawn:{name}"))
+
+    def __repr__(self) -> str:
+        return f"<RngStreams seed={self.seed} streams={sorted(self._streams)}>"

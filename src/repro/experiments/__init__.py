@@ -1,0 +1,26 @@
+"""Experiment harness: one module per table/figure in the paper.
+
+Every module exposes ``run(quick=False, seed=0)`` returning an
+:class:`~repro.experiments.common.ExperimentResult` (rows of the same
+series the paper plots) and a ``main()`` that prints it.  ``quick=True``
+shrinks horizons for benchmark use; ``quick=False`` runs the
+publication-scale sweep.
+
+Run everything::
+
+    python -m repro.experiments          # all experiments, full scale
+    python -m repro.experiments figure8  # one experiment
+
+See DESIGN.md for the per-experiment index and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.experiments.common import ExperimentResult, format_table
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "format_table",
+    "run_experiment",
+]

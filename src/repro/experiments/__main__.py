@@ -1,0 +1,81 @@
+"""Run paper experiments from the command line.
+
+Usage::
+
+    python -m repro.experiments                 # everything, full scale
+    python -m repro.experiments --quick         # everything, reduced
+    python -m repro.experiments figure8 table1  # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids (default: all of {sorted(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced sweeps and horizons"
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render an ASCII chart after each table where one applies",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    requested = args.experiments or sorted(EXPERIMENTS)
+    for experiment_id in requested:
+        result = run_experiment(
+            experiment_id, quick=args.quick, seed=args.seed
+        )
+        print(result.render())
+        if args.plot:
+            chart = _chart_for(experiment_id, result)
+            if chart:
+                print()
+                print(chart)
+        print()
+    return 0
+
+
+#: How to chart each experiment: (x, y, group) — None means tables only.
+_CHART_AXES = {
+    "figure3": ("p_loss", "consistency", "p_death"),
+    "figure4": ("p_loss", "redundant_fraction", "p_death"),
+    "figure5": ("hot_share", "consistency", "loss"),
+    "figure6": ("cold_over_hot", "receive_latency_s", None),
+    "figure8": ("time_s", "running_consistency", "fb_share"),
+    "figure9": ("fb_share", "consistency", "loss"),
+    "figure10": ("hot_share", "consistency", None),
+    "figure11": ("hot_share", "consistency", "loss"),
+    "ext_suppression": ("group_size", "nacks_vs_n1", None),
+}
+
+
+def _chart_for(experiment_id: str, result) -> str | None:
+    axes = _CHART_AXES.get(experiment_id)
+    if axes is None:
+        return None
+    from repro.experiments.plotting import plot_experiment
+
+    x, y, group = axes
+    y_range = (0.0, 1.0) if "consistency" in y or "fraction" in y else None
+    return plot_experiment(result, x=x, y=y, group=group, y_range=y_range)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

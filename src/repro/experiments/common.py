@@ -1,0 +1,88 @@
+"""Shared experiment machinery: result containers and table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+Row = Dict[str, Any]
+
+
+@dataclass
+class ExperimentResult:
+    """The reproduced series for one paper table or figure."""
+
+    experiment_id: str
+    title: str
+    rows: List[Row]
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    def series(self, x: str, y: str, group: Optional[str] = None) -> Dict[Any, List[tuple]]:
+        """Group rows into {group_value: [(x, y), ...]} plot series."""
+        grouped: Dict[Any, List[tuple]] = {}
+        for row in self.rows:
+            key = row.get(group) if group else None
+            grouped.setdefault(key, []).append((row[x], row[y]))
+        return grouped
+
+    def column(self, name: str) -> List[Any]:
+        return [row[name] for row in self.rows]
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.parameters:
+            params = ", ".join(
+                f"{key}={value}" for key, value in self.parameters.items()
+            )
+            lines.append(f"   parameters: {params}")
+        lines.append(format_table(self.rows))
+        if self.notes:
+            lines.append(f"   note: {self.notes}")
+        return "\n".join(lines)
+
+
+def format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.001):
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def format_table(rows: Sequence[Row], columns: Optional[List[str]] = None) -> str:
+    """Render rows as an aligned text table."""
+    if not rows:
+        return "   (no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        [format_value(row.get(column, "")) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(
+        column.rjust(width) for column, width in zip(columns, widths)
+    )
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(cell.rjust(width) for cell, width in zip(line, widths))
+        for line in rendered
+    ]
+    return "\n".join(["   " + header, "   " + separator] + [
+        "   " + line for line in body
+    ])
+
+
+def sweep_points(quick: bool, full: List[float], reduced: List[float]) -> List[float]:
+    """Pick the sweep grid for the requested scale."""
+    return reduced if quick else full
+
+
+def horizon_for(quick: bool, full: float, reduced: float) -> float:
+    return reduced if quick else full

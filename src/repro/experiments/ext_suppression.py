@@ -1,0 +1,76 @@
+"""Extension experiment: NACK suppression vs multicast group size.
+
+Not a figure in the paper, but the scalability property the paper's
+Section 6 invokes when it says multicast SSTP should manage feedback
+with "a scalable mechanism such as slotting and damping [11, 20]".
+With a lossy *shared* upstream link, group members lose the same
+packets; slotting (random request delays) plus damping (suppression on
+hearing another member's request) keeps total NACK traffic roughly flat
+as the group grows, where naive per-receiver feedback would scale
+linearly (the NACK implosion problem).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, horizon_for, sweep_points
+from repro.protocols import MulticastFeedbackSession
+
+SHARED_LOSS = 0.25
+TAIL_LOSS = 0.02
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    horizon = horizon_for(quick, full=400.0, reduced=120.0)
+    warmup = horizon / 5.0
+    group_sizes = sweep_points(
+        quick, full=[1, 2, 4, 8, 16, 32], reduced=[1, 4, 8]
+    )
+    rows = []
+    base_nacks = None
+    for n in group_sizes:
+        n = int(n)
+        result = MulticastFeedbackSession(
+            n_receivers=n,
+            data_kbps=40.0,
+            feedback_kbps=5.0,
+            loss_rate=TAIL_LOSS,
+            shared_loss_rate=SHARED_LOSS,
+            hot_share=0.7,
+            update_rate=8.0,
+            lifetime_mean=25.0,
+            seed=seed,
+        ).run(horizon=horizon, warmup=warmup)
+        if base_nacks is None:
+            base_nacks = max(result.nacks_sent, 1)
+        rows.append(
+            {
+                "group_size": n,
+                "consistency": result.consistency,
+                "nacks": result.nacks_sent,
+                "suppressed": result.nacks_suppressed,
+                "nacks_vs_n1": result.nacks_sent / base_nacks,
+                "naive_scaling": float(n),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ext_suppression",
+        title="NACK traffic vs group size under slotting and damping",
+        rows=rows,
+        parameters={
+            "shared_loss": SHARED_LOSS,
+            "tail_loss": TAIL_LOSS,
+            "horizon_s": horizon,
+        },
+        notes=(
+            "nacks_vs_n1 grows far slower than naive_scaling: damping "
+            "suppresses duplicate requests for shared losses."
+        ),
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Figure 3: open-loop consistency vs loss rate and death rate.
+
+The paper's parameters: lambda = 20 kbps, mu_ch = 128 kbps; E[c(t)]
+plotted against the channel loss rate for several announcement death
+rates.  Consistency degrades with both; at p_death = 0.15 the paper
+reads 85-95% consistency for loss rates of 1-10%.
+
+This is an analytic experiment (the closed forms of Section 3); the
+simulation cross-check lives in ``tests/protocols/test_queue_model.py``
+and in the figure3 bench.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import expected_consistency
+from repro.experiments.common import ExperimentResult, sweep_points
+
+LAMBDA_KBPS = 20.0
+MU_KBPS = 128.0
+DEATH_RATES = [0.15, 0.20, 0.30, 0.40, 0.50]
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    loss_rates = sweep_points(
+        quick,
+        full=[round(0.02 * i, 2) for i in range(0, 51)],
+        reduced=[0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0],
+    )
+    rows = []
+    for p_death in DEATH_RATES:
+        for p_loss in loss_rates:
+            rows.append(
+                {
+                    "p_death": p_death,
+                    "p_loss": p_loss,
+                    "consistency": expected_consistency(
+                        p_loss, p_death, LAMBDA_KBPS, MU_KBPS
+                    ),
+                }
+            )
+    return ExperimentResult(
+        experiment_id="figure3",
+        title="Consistency vs loss rate, per announcement death rate",
+        rows=rows,
+        parameters={"lambda_kbps": LAMBDA_KBPS, "mu_kbps": MU_KBPS},
+        notes=(
+            "Headline: p_death=0.15 stays within 0.80-0.95 for loss 1-10% "
+            "(paper quotes 85-95%)."
+        ),
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Figure 6: receive latency vs cold/hot bandwidth ratio.
+
+The paper sweeps mu_cold while "maintaining mu_hot at its optimal
+level, just higher than the arrival rate" — mu_data grows with
+mu_cold, so hot and cold need strict rate caps (no borrowing), which
+is what :class:`RateCappedTwoQueueSession` provides.
+
+Two competing effects shape the curve: with mu_cold ~ 0 data items are
+never retransmitted, so only never-lost records are counted and the
+measured latency is the small M/M/1-style hot sojourn (the paper's
+~300 ms point); a little cold bandwidth lets lost records be repaired
+after very long waits (mean latency *rises*); ample cold bandwidth
+makes repairs fast (latency falls), and consistency rises throughout —
+turning off background retransmissions is a false economy.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, horizon_for, sweep_points
+from repro.protocols import RateCappedTwoQueueSession
+
+LAMBDA = 1.5
+MU_HOT = 2.0  # "just higher than the arrival rate"
+LIFETIME_MEAN = 120.0
+LOSS_RATE = 0.3
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    horizon = horizon_for(quick, full=1500.0, reduced=400.0)
+    warmup = horizon / 7.5
+    cold_over_hot = sweep_points(
+        quick,
+        full=[0.005, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0, 1.5, 2.0, 3.0],
+        reduced=[0.005, 0.3, 3.0],
+    )
+    rows = []
+    for ratio in cold_over_hot:
+        result = RateCappedTwoQueueSession(
+            hot_kbps=MU_HOT,
+            cold_kbps=ratio * MU_HOT,
+            loss_rate=LOSS_RATE,
+            update_rate=LAMBDA,
+            lifetime_mean=LIFETIME_MEAN,
+            seed=seed,
+        ).run(horizon=horizon, warmup=warmup)
+        rows.append(
+            {
+                "cold_over_hot": ratio,
+                "mu_cold_kbps": round(ratio * MU_HOT, 3),
+                "receive_latency_s": result.mean_receive_latency,
+                "latency_p95_s": result.latency_p95,
+                "consistency": result.consistency,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="figure6",
+        title="Receive latency vs mu_cold/mu_hot (rate-capped queues)",
+        rows=rows,
+        parameters={
+            "mu_hot_kbps": MU_HOT,
+            "lambda_kbps": LAMBDA,
+            "loss": LOSS_RATE,
+            "lifetime_mean_s": LIFETIME_MEAN,
+            "horizon_s": horizon,
+        },
+        notes=(
+            "Latency rises from the mu_cold~0 floor (only never-lost "
+            "records are counted) to a peak, then falls as cold "
+            "bandwidth accelerates repairs; consistency rises "
+            "monotonically with mu_cold."
+        ),
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""Terminal plotting for experiment series.
+
+The paper's evaluation is figures; this environment is a terminal.
+:func:`ascii_plot` renders grouped (x, y) series as a fixed-grid
+scatter/line chart with per-series glyphs, good enough to *see* the
+knees, plateaus, and collapses the experiments reproduce.
+
+>>> print(ascii_plot({"a": [(0, 0.0), (1, 1.0)]}, width=20, height=5))
+... # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+Series = Dict[Any, List[Tuple[float, float]]]
+
+#: Glyphs assigned to series in order.
+GLYPHS = "*o+x#@%&"
+
+
+def _bounds(
+    series: Series,
+) -> Tuple[float, float, float, float]:
+    xs = [x for points in series.values() for x, _ in points]
+    ys = [y for points in series.values() for _, y in points]
+    if not xs:
+        raise ValueError("nothing to plot")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    return x_lo, x_hi, y_lo, y_hi
+
+
+def ascii_plot(
+    series: Series,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Render ``{label: [(x, y), ...]}`` as a terminal chart."""
+    if width < 16 or height < 4:
+        raise ValueError("chart must be at least 16x4")
+    clean: Series = {
+        label: [
+            (x, y)
+            for x, y in points
+            if not (math.isnan(x) or math.isnan(y))
+        ]
+        for label, points in series.items()
+    }
+    clean = {label: pts for label, pts in clean.items() if pts}
+    if not clean:
+        raise ValueError("nothing to plot")
+    x_lo, x_hi, y_lo, y_hi = _bounds(clean)
+    if y_range is not None:
+        y_lo, y_hi = y_range
+        if y_hi <= y_lo:
+            raise ValueError("y_range must be increasing")
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, glyph: str) -> None:
+        column = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        row = height - 1 - max(0, min(row, height - 1))
+        column = max(0, min(column, width - 1))
+        grid[row][column] = glyph
+
+    legend: List[str] = []
+    for index, (label, points) in enumerate(clean.items()):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        legend.append(f"{glyph} {label}")
+        for x, y in points:
+            place(x, y, glyph)
+
+    lines: List[str] = []
+    if title:
+        lines.append(f"   {title}")
+    top = f"{y_hi:g}"
+    bottom = f"{y_lo:g}"
+    margin = max(len(top), len(bottom)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width // 2) + f"{x_hi:g}".rjust(
+        width - width // 2
+    )
+    lines.append(" " * (margin + 1) + x_axis)
+    lines.append(
+        " " * (margin + 1) + f"{x_label}  (y: {y_label})   " + "  ".join(legend)
+    )
+    return "\n".join(lines)
+
+
+def plot_experiment(
+    result,
+    x: str,
+    y: str,
+    group: Optional[str] = None,
+    **kwargs,
+) -> str:
+    """Plot an :class:`~repro.experiments.common.ExperimentResult`."""
+    series = result.series(x, y, group=group)
+    labelled = {
+        (f"{group}={key}" if group else y): points
+        for key, points in series.items()
+    }
+    kwargs.setdefault("x_label", x)
+    kwargs.setdefault("y_label", y)
+    kwargs.setdefault("title", f"{result.experiment_id}: {result.title}")
+    return ascii_plot(labelled, **kwargs)

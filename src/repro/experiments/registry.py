@@ -1,0 +1,54 @@
+"""Registry mapping experiment ids to their run functions."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ext_convergence,
+    ext_gateway,
+    ext_suppression,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    table1,
+)
+from repro.experiments.common import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure9": figure9.run,
+    "figure10": figure10.run,
+    "figure11": figure11.run,
+    "figure12": figure12.run,
+    "ext_suppression": ext_suppression.run,
+    "ext_convergence": ext_convergence.run,
+    "ext_gateway": ext_gateway.run,
+}
+
+
+def run_experiment(
+    experiment_id: str, quick: bool = False, seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment by id (e.g. "figure8")."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(quick=quick, seed=seed)

@@ -1,0 +1,277 @@
+"""Lossy channels: the paper's network model.
+
+Section 3 models the network as a single FIFO server with service rate
+``mu_ch`` (the session bandwidth) whose transmissions are independently
+lost with probability ``p_l``.  :class:`Channel` implements exactly
+that; :class:`MulticastChannel` extends it with per-receiver independent
+loss, and :class:`DuplexPath` pairs a forward data channel with a
+reverse feedback channel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.des import Environment, Store
+from repro.net.loss import LossModel, NoLoss
+from repro.net.packet import Packet, kbps_to_pps
+
+
+class Channel:
+    """A lossy FIFO server with a given bandwidth.
+
+    Packets are serialized at ``rate_kbps``; after service, the loss
+    model decides whether the packet reaches the subscriber(s).  An
+    optional fixed propagation ``delay`` is added post-service.
+
+    ``on_serviced`` hooks fire for every serviced packet with the loss
+    outcome — protocols use this to account bandwidth and to drive
+    per-transmission death processes.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        rate_kbps: float,
+        loss: LossModel | None = None,
+        delay: float = 0.0,
+    ) -> None:
+        if rate_kbps <= 0:
+            raise ValueError(f"rate_kbps must be positive, got {rate_kbps}")
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.env = env
+        self.rate_kbps = rate_kbps
+        self.loss = loss if loss is not None else NoLoss()
+        self.delay = delay
+        self._queue: Store = Store(env)
+        self._sinks: list[Callable[[Packet], None]] = []
+        self._serviced_hooks: list[Callable[[Packet, bool], None]] = []
+        self._completions: dict[int, Any] = {}
+        self.packets_sent = 0
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+        self.bits_sent = 0
+        env.process(self._pump())
+
+    # -- wiring -------------------------------------------------------------
+    def subscribe(self, sink: Callable[[Packet], None]) -> None:
+        """Register a delivery callback for surviving packets."""
+        self._sinks.append(sink)
+
+    def on_serviced(self, hook: Callable[[Packet, bool], None]) -> None:
+        """Register ``hook(packet, lost)`` called after every service."""
+        self._serviced_hooks.append(hook)
+
+    # -- sending ------------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Enqueue ``packet``; the caller is never blocked."""
+        packet.created_at = self.env.now
+        self._queue.put(packet)
+
+    def transmit(self, packet: Packet):
+        """Enqueue ``packet`` and return an event for its service completion.
+
+        The event's value is the loss outcome (True = lost).  This lets a
+        sender run the channel in *pull* mode — schedule the next record
+        only when the previous transmission finishes — which is how the
+        protocol senders keep their own hot/cold queues authoritative.
+        """
+        done = self.env.event()
+        self._completions[packet.uid] = done
+        self.send(packet)
+        return done
+
+    @property
+    def backlog(self) -> int:
+        """Packets queued but not yet serviced."""
+        return len(self._queue)
+
+    def service_time(self, packet: Packet) -> float:
+        return packet.size_bits / (self.rate_kbps * 1000.0)
+
+    @property
+    def service_rate_pps(self) -> float:
+        """Service rate in default-size packets per second."""
+        return kbps_to_pps(self.rate_kbps)
+
+    # -- internals ----------------------------------------------------------
+    def _pump(self):
+        while True:
+            packet = yield self._queue.get()
+            yield self.env.timeout(self.service_time(packet))
+            self.packets_sent += 1
+            self.bits_sent += packet.size_bits
+            lost = self.loss.is_lost()
+            for hook in self._serviced_hooks:
+                hook(packet, lost)
+            completion = self._completions.pop(packet.uid, None)
+            if completion is not None:
+                completion.succeed(lost)
+            if lost:
+                self.packets_dropped += 1
+                continue
+            self.packets_delivered += 1
+            if self.delay > 0:
+                self.env.process(self._deliver_after(packet, self.delay))
+            else:
+                self._deliver(packet)
+
+    def _deliver_after(self, packet: Packet, delay: float):
+        yield self.env.timeout(delay)
+        self._deliver(packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        for sink in self._sinks:
+            sink(packet)
+
+    @property
+    def observed_loss_rate(self) -> float:
+        """Empirical loss fraction over everything serviced so far."""
+        if self.packets_sent == 0:
+            return 0.0
+        return self.packets_dropped / self.packets_sent
+
+
+class MulticastChannel:
+    """One sender queue, many receivers with independent loss.
+
+    The sender serializes each announcement once (multicast: one
+    transmission serves the whole group); each receiver then loses it
+    independently according to its own loss model — the standard model
+    for announce/listen sessions like SAP/sdr.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        rate_kbps: float,
+        delay: float = 0.0,
+        shared_loss: LossModel | None = None,
+    ) -> None:
+        if rate_kbps <= 0:
+            raise ValueError(f"rate_kbps must be positive, got {rate_kbps}")
+        self.env = env
+        self.rate_kbps = rate_kbps
+        self.delay = delay
+        #: Loss on the shared upstream path: one decision per packet
+        #: affecting the whole group (correlated loss), applied before
+        #: each receiver's independent last-hop loss.
+        self.shared_loss = shared_loss if shared_loss is not None else NoLoss()
+        self._queue: Store = Store(env)
+        self._receivers: Dict[Any, tuple[LossModel, Callable[[Packet], None]]] = {}
+        self._serviced_hooks: list[Callable[[Packet, Dict[Any, bool]], None]] = []
+        self._completions: Dict[int, Any] = {}
+        self.packets_sent = 0
+        self.delivered_per_receiver: Dict[Any, int] = {}
+        env.process(self._pump())
+
+    def join(
+        self,
+        receiver_id: Any,
+        sink: Callable[[Packet], None],
+        loss: LossModel | None = None,
+    ) -> None:
+        """Add a receiver to the group with its own loss model."""
+        if receiver_id in self._receivers:
+            raise ValueError(f"receiver {receiver_id!r} already joined")
+        self._receivers[receiver_id] = (loss if loss is not None else NoLoss(), sink)
+        self.delivered_per_receiver[receiver_id] = 0
+
+    def leave(self, receiver_id: Any) -> None:
+        """Remove a receiver (late leave, crash, partition)."""
+        self._receivers.pop(receiver_id, None)
+
+    def on_serviced(
+        self, hook: Callable[[Packet, Dict[Any, bool]], None]
+    ) -> None:
+        """Register ``hook(packet, {receiver: lost})`` after every service."""
+        self._serviced_hooks.append(hook)
+
+    def send(self, packet: Packet) -> None:
+        packet.created_at = self.env.now
+        self._queue.put(packet)
+
+    def transmit(self, packet: Packet):
+        """Enqueue and return an event firing after service (pull mode).
+
+        The event's value is the per-receiver loss outcome dict.
+        """
+        done = self.env.event()
+        self._completions[packet.uid] = done
+        self.send(packet)
+        return done
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+    def _pump(self):
+        while True:
+            packet = yield self._queue.get()
+            yield self.env.timeout(
+                packet.size_bits / (self.rate_kbps * 1000.0)
+            )
+            self.packets_sent += 1
+            outcomes: Dict[Any, bool] = {}
+            upstream_lost = self.shared_loss.is_lost()
+            for receiver_id, (loss, sink) in list(self._receivers.items()):
+                lost = upstream_lost or loss.is_lost()
+                outcomes[receiver_id] = lost
+                if lost:
+                    continue
+                self.delivered_per_receiver[receiver_id] += 1
+                delivery = packet.copy_for(receiver_id)
+                if self.delay > 0:
+                    self.env.process(self._deliver_after(delivery, sink))
+                else:
+                    sink(delivery)
+            for hook in self._serviced_hooks:
+                hook(packet, outcomes)
+            completion = self._completions.pop(packet.uid, None)
+            if completion is not None:
+                completion.succeed(outcomes)
+
+    def _deliver_after(self, packet: Packet, sink: Callable[[Packet], None]):
+        yield self.env.timeout(self.delay)
+        sink(packet)
+
+
+class DuplexPath:
+    """A forward data channel paired with a reverse feedback channel.
+
+    Sections 5-6 allocate the session bandwidth between data (forward)
+    and feedback (reverse NACKs / receiver reports).  Both directions
+    are lossy; by default the reverse path shares the forward path's
+    mean loss rate, matching a symmetric network.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        data_kbps: float,
+        feedback_kbps: float,
+        data_loss: LossModel | None = None,
+        feedback_loss: LossModel | None = None,
+        delay: float = 0.0,
+    ) -> None:
+        self.env = env
+        self.forward = Channel(env, data_kbps, loss=data_loss, delay=delay)
+        # A zero feedback allocation means feedback simply cannot be sent;
+        # model it as a channel whose loss model drops everything.
+        if feedback_kbps > 0:
+            self.reverse: Optional[Channel] = Channel(
+                env, feedback_kbps, loss=feedback_loss, delay=delay
+            )
+        else:
+            self.reverse = None
+
+    def send_data(self, packet: Packet) -> None:
+        self.forward.send(packet)
+
+    def send_feedback(self, packet: Packet) -> bool:
+        """Send on the reverse path; False if no feedback bandwidth exists."""
+        if self.reverse is None:
+            return False
+        self.reverse.send(packet)
+        return True

@@ -1,0 +1,83 @@
+"""A point-to-point link with a transmission rate and propagation delay.
+
+The link serializes packets at ``rate_kbps`` (store-and-forward, FIFO)
+and delivers each one ``delay`` seconds after its last bit leaves.
+Unlike :class:`~repro.net.channel.Channel`, a link never drops packets;
+compose it with a loss model via a channel when loss is wanted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.des import Environment, Store
+from repro.net.packet import Packet
+
+
+class Link:
+    """FIFO serializing link.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    rate_kbps:
+        Transmission rate.  ``inf`` models a link that only adds
+        propagation delay.
+    delay:
+        One-way propagation delay in seconds.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        rate_kbps: float = float("inf"),
+        delay: float = 0.0,
+    ) -> None:
+        if rate_kbps <= 0:
+            raise ValueError(f"rate_kbps must be positive, got {rate_kbps}")
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.env = env
+        self.rate_kbps = rate_kbps
+        self.delay = delay
+        self._queue: Store = Store(env)
+        self._sinks: list[Callable[[Packet], None]] = []
+        self.packets_in = 0
+        self.packets_out = 0
+        env.process(self._pump())
+
+    def subscribe(self, sink: Callable[[Packet], None]) -> None:
+        """Register a delivery callback (may be called multiple times)."""
+        self._sinks.append(sink)
+
+    def send(self, packet: Packet) -> None:
+        """Enqueue ``packet`` for transmission (never blocks the caller)."""
+        packet.created_at = self.env.now
+        self.packets_in += 1
+        self._queue.put(packet)
+
+    def transmission_time(self, packet: Packet) -> float:
+        if self.rate_kbps == float("inf"):
+            return 0.0
+        return packet.size_bits / (self.rate_kbps * 1000.0)
+
+    def _pump(self):
+        while True:
+            packet = yield self._queue.get()
+            serialization = self.transmission_time(packet)
+            if serialization > 0:
+                yield self.env.timeout(serialization)
+            if self.delay > 0:
+                self.env.process(self._deliver_after(packet, self.delay))
+            else:
+                self._deliver(packet)
+
+    def _deliver_after(self, packet: Packet, delay: float):
+        yield self.env.timeout(delay)
+        self._deliver(packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.packets_out += 1
+        for sink in self._sinks:
+            sink(packet)

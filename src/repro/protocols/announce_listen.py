@@ -1,0 +1,60 @@
+"""The open-loop announce/listen protocol (Section 3, protocol level).
+
+One FIFO announcement ring: a new record joins the tail, and after every
+transmission a still-live record rejoins the tail, so the sender cycles
+through its whole live table indefinitely — the "simple open-loop
+repetitive announcement process".  There is no feedback of any kind;
+reliability comes purely from repetition.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.protocols.base import BaseSession
+
+
+class OpenLoopSession(BaseSession):
+    """Single-queue announce/listen over a lossy channel."""
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._ring: deque[Any] = deque()
+        self._queued: set[Any] = set()
+
+    def _enqueue_new(self, key: Any) -> None:
+        # An updated record keeps its single slot in the ring; the next
+        # pass announces the new value anyway.
+        if key in self._queued:
+            return
+        self._queued.add(key)
+        self._ring.append(key)
+
+    def _dequeue_next(self) -> Optional[Any]:
+        while self._ring:
+            key = self._ring.popleft()
+            self._queued.discard(key)
+            record = self.publisher.get(key)
+            if record is not None and record.is_publisher_live(self.env.now):
+                return key
+        return None
+
+    def _after_service(self, key: Any, lost: bool) -> None:
+        record = self.publisher.get(key)
+        if record is not None and record.is_publisher_live(self.env.now):
+            self._enqueue_new(key)
+
+    def _drop_from_queues(self, key: Any) -> None:
+        if key in self._queued:
+            self._queued.discard(key)
+            try:
+                self._ring.remove(key)
+            except ValueError:
+                pass
+
+    def _announce_interval_hint(self) -> Optional[float]:
+        # With L live records sharing mu packets/s, each record is
+        # announced about every L/mu seconds; use the steady-state
+        # estimate lam * lifetime for L when available.
+        return None

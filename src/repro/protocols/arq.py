@@ -1,0 +1,176 @@
+"""A hard-state ARQ baseline (positive ACKs + retransmission timer).
+
+The contrast class for the soft-state protocols: every (key, version)
+is transmitted once, the receiver returns a per-packet ACK on a reverse
+channel, and the sender retransmits on an RTO until acknowledged or the
+record dies.  After acknowledgment the sender transmits *nothing more*
+for that version — no periodic refresh — so a receiver crash (cleared
+table) silently desynchronizes the endpoints until the next update,
+which is exactly the robustness trade the paper describes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.net import BernoulliLoss, Channel, LossModel, Packet
+from repro.protocols.base import BaseSession, ProtocolResult
+
+
+@dataclass
+class ArqResult(ProtocolResult):
+    """ARQ adds acknowledgment accounting to the common result."""
+
+    acks_sent: int = 0
+    acks_delivered: int = 0
+    retransmissions: int = 0
+
+
+class ArqSession(BaseSession):
+    """Stop-and-repeat reliable delivery of table updates."""
+
+    def __init__(
+        self,
+        ack_kbps: float = 8.0,
+        rto: float = 1.0,
+        ack_loss_rate: Optional[float] = None,
+        ack_loss_model: Optional[LossModel] = None,
+        ack_size_bits: int = 100,
+        **kwargs,
+    ) -> None:
+        if ack_kbps <= 0:
+            raise ValueError(f"ack_kbps must be positive, got {ack_kbps}")
+        if rto <= 0:
+            raise ValueError(f"rto must be positive, got {rto}")
+        if ack_size_bits <= 0:
+            raise ValueError(
+                f"ack_size_bits must be positive, got {ack_size_bits}"
+            )
+        super().__init__(**kwargs)
+        self.rto = rto
+        # ACKs, like NACKs, are tiny compared to data announcements.
+        self.ack_size_bits = ack_size_bits
+        loss = ack_loss_model
+        if loss is None:
+            rate = (
+                ack_loss_rate
+                if ack_loss_rate is not None
+                else self.data_channel.loss.mean_loss_rate
+            )
+            loss = BernoulliLoss(rate, rng=self.rng["ack-loss"])
+        self.ack_channel = Channel(self.env, ack_kbps, loss=loss)
+        self.ack_channel.subscribe(self._handle_ack)
+        self.receiver.on_deliver = self._receiver_acks
+        self._sendq: deque[Tuple[Any, int]] = deque()
+        self._queued: set[Tuple[Any, int]] = set()
+        self._acked: set[Tuple[Any, int]] = set()
+        self._in_flight: Dict[Tuple[Any, int], int] = {}
+        self.acks_sent = 0
+        self.acks_delivered = 0
+        self.retransmissions = 0
+
+    # -- receiver side: one ACK per delivered data packet -------------------------
+    def _receiver_acks(self, packet: Packet) -> None:
+        payload = packet.payload
+        ack = Packet(
+            kind="ack",
+            payload={"key": payload["key"], "version": payload["version"]},
+            size_bits=self.ack_size_bits,
+        )
+        self.acks_sent += 1
+        self.ledger.add("feedback", ack.size_bits)
+        self.ack_channel.send(ack)
+
+    # -- sender side ----------------------------------------------------------------
+    def _handle_ack(self, packet: Packet) -> None:
+        self.acks_delivered += 1
+        identity = (packet.payload["key"], packet.payload["version"])
+        self._acked.add(identity)
+        self._in_flight.pop(identity, None)
+
+    def _enqueue_new(self, key: Any) -> None:
+        record = self.publisher.get(key)
+        identity = (key, record.version)
+        if identity in self._queued or identity in self._acked:
+            return
+        self._queued.add(identity)
+        self._sendq.append(identity)
+
+    def _dequeue_next(self) -> Optional[Any]:
+        now = self.env.now
+        while self._sendq:
+            identity = self._sendq.popleft()
+            self._queued.discard(identity)
+            key, version = identity
+            if identity in self._acked:
+                continue
+            record = self.publisher.get(key)
+            if (
+                record is None
+                or not record.is_publisher_live(now)
+                or record.version != version
+            ):
+                continue
+            return key
+        return None
+
+    def _after_service(self, key: Any, lost: bool) -> None:
+        record = self.publisher.get(key)
+        if record is None:
+            return
+        identity = (key, record.version)
+        attempt = self._in_flight.get(identity, 0) + 1
+        self._in_flight[identity] = attempt
+        if attempt > 1:
+            self.retransmissions += 1
+        self.env.process(self._retransmit_timer(identity, attempt))
+
+    def _retransmit_timer(self, identity: Tuple[Any, int], attempt: int):
+        # Exponential backoff, as any sane ARQ would do.
+        yield self.env.timeout(self.rto * (2 ** (attempt - 1)))
+        if identity in self._acked:
+            return
+        if self._in_flight.get(identity) != attempt:
+            return  # a newer attempt owns the timer
+        key, version = identity
+        record = self.publisher.get(key)
+        if (
+            record is None
+            or not record.is_publisher_live(self.env.now)
+            or record.version != version
+        ):
+            return
+        if identity not in self._queued:
+            self._queued.add(identity)
+            self._sendq.append(identity)
+            self._wake_sender()
+
+    def _drop_from_queues(self, key: Any) -> None:
+        for identity in [i for i in self._queued if i[0] == key]:
+            self._queued.discard(identity)
+            try:
+                self._sendq.remove(identity)
+            except ValueError:
+                pass
+
+    def feedback_packets_count(self) -> int:
+        return self.ack_channel.packets_sent
+
+    def crash_receiver(self) -> None:
+        """Clear the receiver's table (the failure the paper motivates)."""
+        self.receiver.table.clear()
+        self._observe(self.env.now)
+
+    def _result(self, duration: float) -> ArqResult:
+        base = super()._result(duration)
+        return ArqResult(
+            **{
+                field: getattr(base, field)
+                for field in base.__dataclass_fields__
+            },
+            acks_sent=self.acks_sent,
+            acks_delivered=self.acks_delivered,
+            retransmissions=self.retransmissions,
+        )

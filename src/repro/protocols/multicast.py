@@ -1,0 +1,549 @@
+"""Multicast announce/listen with scalable NACK suppression.
+
+The paper: "SSTP may be applied to multicast as well as unicast
+transport.  In the case of multicast, a scalable mechanism such as
+slotting and damping [11, 20] may be used in managing feedback traffic."
+This module implements that mechanism over the protocol ladder:
+
+* one sender multicasts announcements through a hot/cold scheduler
+  (as in Section 4/5) over a :class:`~repro.net.MulticastChannel` with
+  independent per-receiver loss;
+* receivers detect losses by sequence gaps, exactly as in the unicast
+  feedback protocol;
+* instead of NACKing immediately, a receiver **slots**: it draws a
+  random delay before sending, and **damps**: NACKs are multicast to
+  the whole group, so a receiver that hears another member request the
+  same sequence suppresses its own pending request (SRM's
+  slotting-and-damping, the paper's references [11, 20]);
+* a single retransmission (moved cold -> hot, as in Figure 7) repairs
+  every receiver that missed the packet.
+
+The headline property — total NACK traffic grows sublinearly in the
+group size — is asserted by the suppression bench and tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core import (
+    BandwidthLedger,
+    ConsistencyMeter,
+    LatencyRecorder,
+    SoftStateTable,
+)
+from repro.des import Environment, RngStreams
+from repro.net import BernoulliLoss, MulticastChannel, Packet
+from repro.protocols.states import RecordState, RecordStateMachine
+from repro.protocols.two_queue import COLD, HOT, make_scheduler
+from repro.workloads import PoissonUpdateWorkload, Workload
+
+NACK_BITS = 100
+
+
+@dataclass
+class MulticastResult:
+    """Measured outcome of a multicast feedback session."""
+
+    consistency: float
+    per_receiver_consistency: Dict[str, float]
+    mean_receive_latency: float
+    data_packets: int
+    nacks_sent: int
+    nacks_suppressed: int
+    repairs_transmitted: int
+    duration: float
+    bandwidth_bits: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def nacks_per_loss_event(self) -> float:
+        """Feedback economy: requests sent per repair performed."""
+        if self.repairs_transmitted == 0:
+            return math.nan
+        return self.nacks_sent / self.repairs_transmitted
+
+
+class _GroupReceiver:
+    """One group member: mirror table, gap detection, slotted NACKs."""
+
+    def __init__(
+        self,
+        receiver_id: str,
+        session: "MulticastFeedbackSession",
+        seed_rng,
+    ) -> None:
+        self.receiver_id = receiver_id
+        self.session = session
+        self.env = session.env
+        self.table = SoftStateTable("subscriber")
+        self._rng = seed_rng
+        self._next_seq = 0
+        self.missing: Set[int] = set()
+        #: Sequences with a slotting timer armed locally.
+        self._pending: Set[int] = set()
+        #: Sequences whose request we heard from another member.
+        self._heard: Dict[int, float] = {}
+        #: Request attempts per sequence, for exponential backoff: when
+        #: the feedback channel is congested, re-requesting at a fixed
+        #: interval melts it down (each late repair spawns more NACKs
+        #: than it resolves).  SRM's answer, used here, is to double the
+        #: retry timer per attempt.
+        self._attempts: Dict[int, int] = {}
+        self.nacks_sent = 0
+        self.nacks_suppressed = 0
+
+    # -- data path --------------------------------------------------------------
+    def deliver(self, packet: Packet) -> None:
+        payload = packet.payload
+        now = self.env.now
+        if packet.seq is not None:
+            if packet.seq >= self._next_seq:
+                fresh = set(range(self._next_seq, packet.seq))
+                self._next_seq = packet.seq + 1
+                for seq in sorted(fresh):
+                    if self.session.receiver_needs(self, seq):
+                        self.missing.add(seq)
+                        self._arm_timer(seq)
+            for repaired in payload.get("repairs", ()):
+                self.missing.discard(repaired)
+                self._heard.pop(repaired, None)
+                self._attempts.pop(repaired, None)
+        key = payload["key"]
+        version = payload["version"]
+        existing = self.table.get(key)
+        if (
+            existing is not None
+            and existing.version >= version
+            and existing.is_subscriber_live(now)
+        ):
+            self.table.refresh(key, now)
+        else:
+            self.table.put(
+                key,
+                payload["value"],
+                now=now,
+                version=version,
+                hold_time=max(payload["expires_at"] - now, 1e-9),
+            )
+            self.session.latency.received(
+                (self.receiver_id, key), version, now
+            )
+        self.table.expire(now)
+        self.session.observe()
+
+    # -- slotting and damping ------------------------------------------------------
+    def _arm_timer(self, seq: int) -> None:
+        if seq in self._pending:
+            return
+        self._pending.add(seq)
+        self.env.process(self._request_timer(seq))
+
+    def _request_timer(self, seq: int):
+        delay = self._rng.uniform(
+            self.session.slot_min, self.session.slot_max
+        )
+        yield self.env.timeout(delay)
+        self._pending.discard(seq)
+        if seq not in self.missing:
+            return  # repaired while we waited
+        if not self.session.receiver_needs(self, seq):
+            self.missing.discard(seq)
+            return
+        heard_at = self._heard.get(seq)
+        if heard_at is not None and (
+            self.env.now - heard_at < self.session.damp_interval
+        ):
+            # Someone else already asked: damp our request and back off.
+            self.nacks_suppressed += 1
+            self.session.nacks_suppressed += 1
+            self.env.process(self._backoff_timer(seq))
+            return
+        self._send_nack(seq)
+        self.env.process(self._backoff_timer(seq))
+
+    def _backoff_timer(self, seq: int):
+        """Re-arm the request if the repair never shows up.
+
+        Exponentially backed off per attempt (capped), so a congested
+        feedback channel drains instead of melting down.
+        """
+        attempt = self._attempts.get(seq, 0) + 1
+        self._attempts[seq] = attempt
+        delay = self.session.retry_interval * min(2 ** (attempt - 1), 32)
+        yield self.env.timeout(delay)
+        if seq in self.missing and self.session.receiver_needs(self, seq):
+            self._arm_timer(seq)
+        else:
+            self.missing.discard(seq)
+            self._attempts.pop(seq, None)
+
+    def _send_nack(self, seq: int) -> None:
+        self.nacks_sent += 1
+        self.session.nacks_sent += 1
+        self.session.ledger.add("feedback", NACK_BITS)
+        self.session.feedback_channel.send(
+            Packet(
+                kind="nack",
+                payload={"seq": seq, "from": self.receiver_id},
+                size_bits=NACK_BITS,
+            )
+        )
+
+    def hear_nack(self, packet: Packet) -> None:
+        """Another member's (or our own) multicast NACK reaches us."""
+        seq = packet.payload["seq"]
+        if packet.payload["from"] == self.receiver_id:
+            return
+        self._heard[seq] = self.env.now
+
+
+class MulticastFeedbackSession:
+    """A multicast group with slotted-and-damped NACK feedback."""
+
+    def __init__(
+        self,
+        n_receivers: int,
+        data_kbps: float,
+        feedback_kbps: float,
+        loss_rate: float = 0.0,
+        shared_loss_rate: float = 0.0,
+        hot_share: float = 0.7,
+        update_rate: Optional[float] = None,
+        lifetime_mean: float = 20.0,
+        workload: Optional[Workload] = None,
+        slot_min: float = 0.05,
+        slot_max: float = 0.5,
+        slot_scale_with_group: bool = True,
+        damp_interval: float = 1.0,
+        retry_interval: float = 1.5,
+        scheduler: str = "stride",
+        seed: int = 0,
+        tick: float = 1.0,
+        join_times: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if n_receivers < 1:
+            raise ValueError(f"need at least one receiver, got {n_receivers}")
+        if data_kbps <= 0:
+            raise ValueError(f"data_kbps must be positive, got {data_kbps}")
+        if feedback_kbps <= 0:
+            raise ValueError(
+                f"feedback_kbps must be positive, got {feedback_kbps}"
+            )
+        if not 0.0 < hot_share < 1.0:
+            raise ValueError(f"hot_share must be in (0, 1), got {hot_share}")
+        if not 0.0 <= slot_min < slot_max:
+            raise ValueError(
+                f"need 0 <= slot_min < slot_max, got {slot_min}, {slot_max}"
+            )
+        if workload is None:
+            if update_rate is None:
+                raise ValueError("provide either update_rate or workload")
+            workload = PoissonUpdateWorkload(
+                arrival_rate=update_rate, lifetime_mean=lifetime_mean
+            )
+        self.env = Environment()
+        self.rng = RngStreams(seed=seed)
+        self.workload = workload
+        self.slot_min = slot_min
+        # SRM-style timer scaling: the slot window must grow with the
+        # group, or every member fires its request before it can hear
+        # anyone else's and the feedback channel melts down.  A window
+        # of ~N/8 base widths keeps expected requests per loss O(1).
+        if slot_scale_with_group:
+            slot_max = slot_max * max(1.0, n_receivers / 8.0)
+        self.slot_max = slot_max
+        self.damp_interval = max(damp_interval, self.slot_max)
+        self.retry_interval = retry_interval
+        self.tick = tick
+
+        # shared_loss_rate models a lossy upstream link whose drops hit
+        # every group member at once — the regime where slotting and
+        # damping pay off (members request the same repairs).
+        self.data_channel = MulticastChannel(
+            self.env,
+            data_kbps,
+            shared_loss=BernoulliLoss(
+                shared_loss_rate, rng=self.rng["shared-loss"]
+            ),
+        )
+        self.feedback_channel = MulticastChannel(self.env, feedback_kbps)
+
+        self.publisher = SoftStateTable("publisher")
+        self.latency = LatencyRecorder()
+        self.ledger = BandwidthLedger()
+        self.scheduler = make_scheduler(scheduler, self.rng["scheduler"])
+        self.scheduler.add_class(HOT, weight=hot_share)
+        self.scheduler.add_class(COLD, weight=1.0 - hot_share)
+        self._location: Dict[Any, str] = {}
+        self.machines: Dict[Any, RecordStateMachine] = {}
+        self._seq = 0
+        self._seq_to_key: Dict[int, Tuple[Any, int]] = {}
+        self._pending_repairs: Dict[Any, Set[int]] = {}
+        self._wakeup = None
+        self.nacks_sent = 0
+        self.nacks_suppressed = 0
+        self.repairs_transmitted = 0
+
+        join_times = join_times or {}
+        self.receivers: List[_GroupReceiver] = []
+        for index in range(n_receivers):
+            receiver_id = f"rcv-{index}"
+            family = self.rng.spawn(receiver_id)
+            receiver = _GroupReceiver(receiver_id, self, family["slots"])
+            self.receivers.append(receiver)
+            join_at = join_times.get(receiver_id, 0.0)
+            data_loss = BernoulliLoss(loss_rate, rng=family["loss"])
+            if join_at <= 0.0:
+                self.data_channel.join(
+                    receiver_id, receiver.deliver, loss=data_loss
+                )
+            else:
+                # A late joiner: it catches up purely from the cold
+                # announcement cycle once it tunes in — the benefit the
+                # paper credits periodic retransmissions with.
+                self.env.process(
+                    self._late_join(receiver, join_at, data_loss)
+                )
+            # Receivers hear each other's NACKs (damping); they may be
+            # lost independently like any multicast packet.
+            self.feedback_channel.join(
+                receiver_id,
+                receiver.hear_nack,
+                loss=BernoulliLoss(loss_rate, rng=family["nack-loss"]),
+            )
+        self.feedback_channel.join(
+            "sender",
+            self._handle_nack,
+            loss=BernoulliLoss(loss_rate, rng=self.rng["sender-nack-loss"]),
+        )
+        self.meter: Optional[ConsistencyMeter] = None
+        self._per_receiver_meters: Dict[str, ConsistencyMeter] = {}
+        self._last_observed = -float("inf")
+
+    def _late_join(self, receiver: "_GroupReceiver", join_at: float, loss) -> Any:
+        yield self.env.timeout(join_at)
+        # Skip the sequence space that predates the join: those packets
+        # were not "lost", the member simply was not listening yet.
+        receiver._next_seq = self._seq
+        self.data_channel.join(receiver.receiver_id, receiver.deliver, loss=loss)
+
+    # -- helpers receivers call ------------------------------------------------------
+    def receiver_needs(self, receiver: _GroupReceiver, seq: int) -> bool:
+        """ALF naming: would this receiver benefit from a repair of seq?"""
+        resolved = self._seq_to_key.get(seq)
+        if resolved is None:
+            return False
+        key, version = resolved
+        record = self.publisher.get(key)
+        if record is None or not record.is_publisher_live(self.env.now):
+            return False
+        mirror = receiver.table.get(key)
+        return (
+            mirror is None
+            or mirror.version < version
+            or not mirror.is_subscriber_live(self.env.now)
+        )
+
+    def observe(self, force: bool = False) -> None:
+        """Sample the consistency meters.
+
+        Metering cost is O(receivers x live records) per sample, and
+        deliveries arrive N-per-packet, so per-event sampling would be
+        quadratic in the group size.  The meters are therefore sampled
+        at most every ``tick/2`` seconds (plus the forced end-of-run
+        sample); at hundreds of live records the time-average converges
+        the same way with bounded per-sample error.
+        """
+        now = self.env.now
+        if self.meter is None:
+            return
+        if not force and now - self._last_observed < self.tick / 2.0:
+            return
+        self._last_observed = now
+        for receiver in self.receivers:
+            receiver.table.expire(now)
+        self.meter.observe(now)
+        for meter in self._per_receiver_meters.values():
+            meter.observe(now)
+
+    # -- publisher actions --------------------------------------------------------------
+    def insert(self, key: Any, value: Any, lifetime: float = math.inf) -> None:
+        now = self.env.now
+        record = self.publisher.put(key, value, now=now, lifetime=lifetime)
+        for receiver in self.receivers:
+            self.latency.introduced(
+                (receiver.receiver_id, key), record.version, now
+            )
+        self._promote(key)
+        if lifetime != math.inf:
+            self.env.process(self._death_after(key, lifetime))
+        self.observe()
+
+    def update(self, key: Any, value: Any) -> None:
+        now = self.env.now
+        record = self.publisher.get(key)
+        if record is None or not record.is_publisher_live(now):
+            return
+        record.value = value
+        record.version += 1
+        record.last_refreshed = now
+        for receiver in self.receivers:
+            self.latency.introduced(
+                (receiver.receiver_id, key), record.version, now
+            )
+        self._promote(key)
+        self.observe()
+
+    def delete(self, key: Any) -> None:
+        self._kill(key)
+
+    def _death_after(self, key: Any, lifetime: float):
+        yield self.env.timeout(lifetime)
+        self._kill(key)
+
+    def _kill(self, key: Any) -> None:
+        record = self.publisher.get(key)
+        if record is None:
+            return
+        for receiver in self.receivers:
+            self.latency.abandoned(
+                (receiver.receiver_id, key), record.version
+            )
+        self.publisher.delete(key)
+        location = self._location.pop(key, None)
+        if location is not None:
+            self.scheduler.remove(location, key)
+        machine = self.machines.pop(key, None)
+        if machine is not None:
+            machine.on_death()
+        self._pending_repairs.pop(key, None)
+        if hasattr(self.workload, "note_death"):
+            self.workload.note_death(key)
+        self.observe()
+
+    # -- sender ---------------------------------------------------------------------------
+    def _promote(self, key: Any) -> None:
+        location = self._location.get(key)
+        if location == HOT:
+            return
+        if location == COLD:
+            self.scheduler.remove(COLD, key)
+        machine = self.machines.get(key)
+        if machine is None:
+            machine = RecordStateMachine()
+            self.machines[key] = machine
+        elif machine.state is RecordState.COLD:
+            machine.on_nack()
+        self.scheduler.enqueue(HOT, key)
+        self._location[key] = HOT
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def _handle_nack(self, packet: Packet) -> None:
+        seq = packet.payload["seq"]
+        resolved = self._seq_to_key.get(seq)
+        if resolved is None:
+            return
+        key, version = resolved
+        record = self.publisher.get(key)
+        if (
+            record is None
+            or not record.is_publisher_live(self.env.now)
+            or record.version != version
+        ):
+            return
+        self._pending_repairs.setdefault(key, set()).add(seq)
+        if self._location.get(key) == COLD:
+            self.repairs_transmitted += 1
+            self._promote(key)
+
+    def _sender_loop(self):
+        while True:
+            self.publisher.expire(self.env.now)
+            entry = self.scheduler.dequeue()
+            if entry is None:
+                self._wakeup = self.env.event()
+                yield self._wakeup
+                self._wakeup = None
+                continue
+            _, key = entry
+            self._location.pop(key, None)
+            record = self.publisher.get(key)
+            if record is None or not record.is_publisher_live(self.env.now):
+                continue
+            seq = self._seq
+            self._seq += 1
+            self._seq_to_key[seq] = (key, record.version)
+            repairs = tuple(sorted(self._pending_repairs.pop(key, ())))
+            packet = Packet(
+                kind="announce",
+                key=key,
+                seq=seq,
+                payload={
+                    "key": key,
+                    "value": record.value,
+                    "version": record.version,
+                    "expires_at": record.publisher_expiry,
+                    "repairs": repairs,
+                },
+            )
+            self.ledger.add(
+                "repair" if repairs else "new", packet.size_bits
+            )
+            record.announcements += 1
+            yield self.data_channel.transmit(packet)
+            self.observe()
+            if self.publisher.get(key) is not None:
+                machine = self.machines[key]
+                machine.on_transmitted()
+                if self._location.get(key) != HOT:
+                    self.scheduler.enqueue(COLD, key)
+                    self._location[key] = COLD
+
+    def _ticker(self):
+        while True:
+            yield self.env.timeout(self.tick)
+            self.observe()
+
+    # -- running ------------------------------------------------------------------------------
+    def run(self, horizon: float, warmup: float = 0.0) -> MulticastResult:
+        if horizon <= warmup:
+            raise ValueError(
+                f"horizon ({horizon}) must exceed warmup ({warmup})"
+            )
+        self.env.process(
+            self.workload.run(self.env, self, self.rng["workload"])
+        )
+        self.env.process(self._sender_loop())
+        self.env.process(self._ticker())
+        self.env.run(until=warmup)
+        self.meter = ConsistencyMeter(
+            self.publisher,
+            [receiver.table for receiver in self.receivers],
+            start_time=warmup,
+        )
+        for receiver in self.receivers:
+            self._per_receiver_meters[receiver.receiver_id] = (
+                ConsistencyMeter(
+                    self.publisher, [receiver.table], start_time=warmup
+                )
+            )
+        self.observe(force=True)
+        self.env.run(until=horizon)
+        self.observe(force=True)
+        return MulticastResult(
+            consistency=self.meter.average(),
+            per_receiver_consistency={
+                receiver_id: meter.average()
+                for receiver_id, meter in self._per_receiver_meters.items()
+            },
+            mean_receive_latency=self.latency.mean(),
+            data_packets=self.data_channel.packets_sent,
+            nacks_sent=self.nacks_sent,
+            nacks_suppressed=self.nacks_suppressed,
+            repairs_transmitted=self.repairs_transmitted,
+            duration=horizon - warmup,
+            bandwidth_bits=self.ledger.as_dict(),
+        )

@@ -1,0 +1,108 @@
+"""The hot/cold/dead record state machine (Figure 7).
+
+A record enters the system in the HOT (foreground) state, moves to COLD
+(background) once it has been transmitted, returns to HOT when a
+receiver NACK requests it, and leaves the system to DEAD when its
+lifetime ends.  The machine validates transitions and keeps an audit of
+visits, which the Figure 7 experiment prints alongside the diagram.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Tuple
+
+
+class RecordState(enum.Enum):
+    """Figure 7's three states."""
+
+    HOT = "hot"
+    COLD = "cold"
+    DEAD = "dead"
+
+
+#: Legal transitions and the protocol event that triggers each.
+TRANSITIONS: Dict[Tuple[RecordState, RecordState], str] = {
+    (RecordState.HOT, RecordState.COLD): "transmit",
+    (RecordState.HOT, RecordState.HOT): "transmit (retained: loss-suspect)",
+    (RecordState.COLD, RecordState.HOT): "nack",
+    (RecordState.COLD, RecordState.COLD): "retransmit",
+    (RecordState.HOT, RecordState.DEAD): "death",
+    (RecordState.COLD, RecordState.DEAD): "death",
+}
+
+
+class IllegalTransition(Exception):
+    """Raised when a protocol attempts a transition Figure 7 forbids."""
+
+
+class RecordStateMachine:
+    """Per-record state with transition validation and audit counters."""
+
+    def __init__(self) -> None:
+        self.state = RecordState.HOT
+        self.history: List[Tuple[RecordState, RecordState, str]] = []
+        self.transmissions = 0
+        self.nacks = 0
+
+    def transition(self, target: RecordState) -> str:
+        """Move to ``target``; returns the event label.
+
+        Raises :class:`IllegalTransition` for moves not in Figure 7
+        (e.g. resurrecting a DEAD record).
+        """
+        key = (self.state, target)
+        label = TRANSITIONS.get(key)
+        if label is None:
+            raise IllegalTransition(
+                f"cannot move {self.state.value} -> {target.value}"
+            )
+        self.history.append((self.state, target, label))
+        if label.startswith("transmit") or label == "retransmit":
+            self.transmissions += 1
+        if label == "nack":
+            self.nacks += 1
+        self.state = target
+        return label
+
+    # Convenience wrappers used by the protocol senders -------------------------
+    def on_transmitted(self) -> None:
+        """First transmission: HOT -> COLD (stays COLD on retransmit)."""
+        if self.state is RecordState.HOT:
+            self.transition(RecordState.COLD)
+        elif self.state is RecordState.COLD:
+            self.transition(RecordState.COLD)
+        else:
+            raise IllegalTransition("transmitting a dead record")
+
+    def on_nack(self) -> None:
+        """A NACK moves a COLD record back to the HOT queue tail."""
+        if self.state is RecordState.COLD:
+            self.transition(RecordState.HOT)
+        # A NACK for an already-hot record is a no-op (it is queued).
+
+    def on_death(self) -> None:
+        if self.state is not RecordState.DEAD:
+            self.transition(RecordState.DEAD)
+
+    @property
+    def is_dead(self) -> bool:
+        return self.state is RecordState.DEAD
+
+
+def ascii_diagram() -> str:
+    """The Figure 7 diagram, rendered for terminals."""
+    return "\n".join(
+        [
+            "            transmit",
+            "   +-----+ ---------> +-----+",
+            "   |  H  |            |  C  | <--+ retransmit",
+            "   +-----+ <--------- +-----+ ---+",
+            "      |       nack       |",
+            "death |                  | death",
+            "      v                  v",
+            "   +----------------------+",
+            "   |          D           |",
+            "   +----------------------+",
+        ]
+    )

@@ -1,0 +1,128 @@
+"""Common scheduler interface.
+
+A scheduler multiplexes several named classes (queues) onto one link.
+Items are enqueued into a class; ``dequeue()`` returns the next
+``(class_name, item)`` pair according to the discipline, or ``None``
+when everything is empty.  Weights express the proportional share each
+class should receive when it is continuously backlogged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, Optional, Tuple
+
+
+class SchedulerError(Exception):
+    """Raised for scheduler API misuse (unknown class, bad weight)."""
+
+
+class Scheduler:
+    """Base class holding per-class FIFO queues and weights."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[str, Deque[Tuple[Any, float]]] = {}
+        self._weights: Dict[str, float] = {}
+        self.served: Dict[str, int] = {}
+        self.served_size: Dict[str, float] = {}
+
+    # -- class management ---------------------------------------------------
+    def add_class(self, name: str, weight: float = 1.0) -> None:
+        """Register a traffic class with a proportional-share weight."""
+        if name in self._queues:
+            raise SchedulerError(f"class {name!r} already exists")
+        if weight <= 0:
+            raise SchedulerError(f"weight must be positive, got {weight}")
+        self._queues[name] = deque()
+        self._weights[name] = float(weight)
+        self.served[name] = 0
+        self.served_size[name] = 0.0
+        self._on_class_added(name)
+
+    def set_weight(self, name: str, weight: float) -> None:
+        """Change a class's share (e.g. the allocator re-tuning hot/cold)."""
+        self._require(name)
+        if weight <= 0:
+            raise SchedulerError(f"weight must be positive, got {weight}")
+        self._weights[name] = float(weight)
+        self._on_weight_changed(name)
+
+    def weight(self, name: str) -> float:
+        self._require(name)
+        return self._weights[name]
+
+    @property
+    def classes(self) -> Iterable[str]:
+        return self._queues.keys()
+
+    # -- queue operations -----------------------------------------------------
+    def enqueue(self, name: str, item: Any, size: float = 1.0) -> None:
+        """Append ``item`` (with a service ``size``) to class ``name``."""
+        self._require(name)
+        if size <= 0:
+            raise SchedulerError(f"size must be positive, got {size}")
+        self._queues[name].append((item, size))
+        self._on_enqueue(name, item, size)
+
+    def dequeue(self) -> Optional[Tuple[str, Any]]:
+        """Pop the next item per the discipline; None if all queues empty."""
+        name = self._select()
+        if name is None:
+            return None
+        item, size = self._queues[name].popleft()
+        self.served[name] += 1
+        self.served_size[name] += size
+        self._on_dequeue(name, item, size)
+        return name, item
+
+    def backlog(self, name: str) -> int:
+        self._require(name)
+        return len(self._queues[name])
+
+    def remove(self, name: str, item: Any) -> bool:
+        """Remove a specific queued item (e.g. a record that just died)."""
+        self._require(name)
+        queue = self._queues[name]
+        for entry in queue:
+            if entry[0] is item or entry[0] == item:
+                queue.remove(entry)
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._queues
+
+    # -- discipline hooks ------------------------------------------------------
+    def _select(self) -> Optional[str]:
+        """Return the class to serve next, or None.  Must be overridden."""
+        raise NotImplementedError
+
+    def _on_class_added(self, name: str) -> None:
+        """Discipline-specific per-class state initialisation."""
+
+    def _on_weight_changed(self, name: str) -> None:
+        """React to a weight update."""
+
+    def _on_enqueue(self, name: str, item: Any, size: float) -> None:
+        """React to an enqueue (e.g. stamp virtual times)."""
+
+    def _on_dequeue(self, name: str, item: Any, size: float) -> None:
+        """React to a dequeue (e.g. advance virtual time)."""
+
+    # -- helpers -----------------------------------------------------------------
+    def _require(self, name: str) -> None:
+        if name not in self._queues:
+            raise SchedulerError(f"unknown class {name!r}")
+
+    def _backlogged(self) -> list[str]:
+        return [name for name, queue in self._queues.items() if queue]
+
+    def share_of(self, name: str) -> float:
+        """Fraction of total service (by size) this class has received."""
+        total = sum(self.served_size.values())
+        if total == 0:
+            return 0.0
+        return self.served_size[name] / total

@@ -1,0 +1,211 @@
+"""Hierarchical link-sharing scheduler (CBQ / H-FSC style).
+
+Figure 12 of the paper shows SSTP's allocation hierarchy: the session
+bandwidth is split between data and feedback, data between hot and cold
+queues, and (optionally) application data classes below those.  This
+scheduler models that tree: each node has a weight relative to its
+siblings, leaves hold FIFO item queues, and selection descends from the
+root choosing among children with backlogged descendants by stride
+scheduling (deterministic proportional share at every level).
+
+Class names are slash-separated paths, e.g. ``"data/hot"``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Tuple
+
+from repro.sched.base import SchedulerError
+from repro.sched.stride import STRIDE1
+
+
+class _Node:
+    def __init__(self, name: str, weight: float) -> None:
+        self.name = name
+        self.weight = weight
+        self.children: Dict[str, "_Node"] = {}
+        self.queue: Deque[Tuple[Any, float]] = deque()
+        self.pass_value = 0.0
+        self.served = 0
+        self.served_size = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def backlogged(self) -> bool:
+        if self.queue:
+            return True
+        return any(child.backlogged() for child in self.children.values())
+
+    def stride(self) -> float:
+        return STRIDE1 / self.weight
+
+
+class HierarchicalScheduler:
+    """Weighted link-sharing over a class tree."""
+
+    def __init__(self) -> None:
+        self._root = _Node("", 1.0)
+        self._leaves: Dict[str, _Node] = {}
+
+    # -- tree construction ----------------------------------------------------
+    def add_class(self, path: str, weight: float = 1.0) -> None:
+        """Create a class at ``path`` ("data/hot"); parents must exist.
+
+        Top-level classes hang off the implicit root.
+        """
+        if weight <= 0:
+            raise SchedulerError(f"weight must be positive, got {weight}")
+        parts = self._split(path)
+        node = self._root
+        for part in parts[:-1]:
+            if part not in node.children:
+                raise SchedulerError(
+                    f"parent class {part!r} of {path!r} does not exist"
+                )
+            node = node.children[part]
+        leaf_name = parts[-1]
+        if leaf_name in node.children:
+            raise SchedulerError(f"class {path!r} already exists")
+        if node is not self._root and node.queue:
+            raise SchedulerError(
+                f"cannot add child under {node.name!r}: it already holds items"
+            )
+        child = _Node(leaf_name, float(weight))
+        child.pass_value = self._min_pass(node)
+        node.children[leaf_name] = child
+        # The parent is no longer a leaf.
+        self._leaves.pop(self._parent_path(path), None)
+        self._leaves[path] = child
+
+    def set_weight(self, path: str, weight: float) -> None:
+        if weight <= 0:
+            raise SchedulerError(f"weight must be positive, got {weight}")
+        self._find(path).weight = float(weight)
+
+    def weight(self, path: str) -> float:
+        return self._find(path).weight
+
+    # -- queue operations -------------------------------------------------------
+    def enqueue(self, path: str, item: Any, size: float = 1.0) -> None:
+        node = self._find(path)
+        if not node.is_leaf:
+            raise SchedulerError(f"{path!r} is an interior class; enqueue at a leaf")
+        if size <= 0:
+            raise SchedulerError(f"size must be positive, got {size}")
+        # A node waking from idle must not spend pass-value credit it
+        # accumulated while it had nothing to send: clamp each ancestor
+        # that was idle to the minimum pass among its backlogged siblings.
+        parent = self._root
+        for part in self._split(path):
+            child = parent.children[part]
+            if not child.backlogged():
+                sibling_passes = [
+                    sibling.pass_value
+                    for sibling in parent.children.values()
+                    if sibling is not child and sibling.backlogged()
+                ]
+                if sibling_passes:
+                    child.pass_value = max(
+                        child.pass_value, min(sibling_passes)
+                    )
+            parent = child
+        node.queue.append((item, size))
+
+    def dequeue(self) -> Optional[Tuple[str, Any]]:
+        """Serve the next item, descending the tree by stride at each level."""
+        if not self._root.backlogged():
+            return None
+        node = self._root
+        path_parts: list[str] = []
+        while not node.is_leaf:
+            candidates = [
+                child
+                for child in node.children.values()
+                if child.backlogged()
+            ]
+            chosen = min(candidates, key=lambda c: (c.pass_value, c.name))
+            path_parts.append(chosen.name)
+            node = chosen
+        item, size = node.queue.popleft()
+        # Charge the whole ancestor chain of the served leaf.
+        charged = self._root
+        for part in path_parts:
+            charged = charged.children[part]
+            charged.pass_value += charged.stride() * size
+            charged.served += 1
+            charged.served_size += size
+        return "/".join(path_parts), item
+
+    def backlog(self, path: str) -> int:
+        node = self._find(path)
+        if node.is_leaf:
+            return len(node.queue)
+        return sum(
+            self.backlog(f"{path}/{name}") for name in node.children
+        )
+
+    def served_size(self, path: str) -> float:
+        return self._find(path).served_size
+
+    def share_of(self, path: str) -> float:
+        """Fraction of sibling service this class has received."""
+        parts = self._split(path)
+        parent = self._root
+        for part in parts[:-1]:
+            parent = parent.children[part]
+        total = sum(c.served_size for c in parent.children.values())
+        if total == 0:
+            return 0.0
+        return parent.children[parts[-1]].served_size / total
+
+    def __len__(self) -> int:
+        def count(node: _Node) -> int:
+            return len(node.queue) + sum(
+                count(child) for child in node.children.values()
+            )
+
+        return count(self._root)
+
+    def describe(self) -> str:
+        """Human-readable tree with weights and service counts."""
+        lines: list[str] = []
+
+        def walk(node: _Node, depth: int) -> None:
+            for child in node.children.values():
+                lines.append(
+                    "  " * depth
+                    + f"{child.name} (weight={child.weight:g}, "
+                    f"served={child.served}, backlog={len(child.queue)})"
+                )
+                walk(child, depth + 1)
+
+        walk(self._root, 0)
+        return "\n".join(lines)
+
+    # -- helpers ------------------------------------------------------------------
+    @staticmethod
+    def _split(path: str) -> list[str]:
+        parts = [part for part in path.split("/") if part]
+        if not parts:
+            raise SchedulerError(f"invalid class path {path!r}")
+        return parts
+
+    @staticmethod
+    def _parent_path(path: str) -> str:
+        return "/".join(HierarchicalScheduler._split(path)[:-1])
+
+    def _find(self, path: str) -> _Node:
+        node = self._root
+        for part in self._split(path):
+            if part not in node.children:
+                raise SchedulerError(f"unknown class {path!r}")
+            node = node.children[part]
+        return node
+
+    @staticmethod
+    def _min_pass(parent: _Node) -> float:
+        values = [child.pass_value for child in parent.children.values()]
+        return min(values) if values else 0.0

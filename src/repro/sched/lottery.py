@@ -1,0 +1,38 @@
+"""Lottery scheduling (Waldspurger & Weihl, OSDI '95).
+
+Each class holds tickets proportional to its weight; every service slot
+a winning ticket is drawn uniformly among *backlogged* classes, so an
+idle class's tickets are redistributed automatically ("unused excess hot
+bandwidth is consumed by transmissions from the cold queue", Section 4).
+Probabilistically fair with no per-class virtual-time state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.sched.base import Scheduler
+
+
+class LotteryScheduler(Scheduler):
+    """Randomized proportional-share scheduler."""
+
+    def __init__(self, rng: random.Random | None = None) -> None:
+        super().__init__()
+        self._rng = rng if rng is not None else random.Random(0)
+
+    def _select(self) -> Optional[str]:
+        backlogged = self._backlogged()
+        if not backlogged:
+            return None
+        if len(backlogged) == 1:
+            return backlogged[0]
+        total = sum(self._weights[name] for name in backlogged)
+        winner = self._rng.random() * total
+        acc = 0.0
+        for name in backlogged:
+            acc += self._weights[name]
+            if winner < acc:
+                return name
+        return backlogged[-1]

@@ -1,0 +1,66 @@
+"""SSTP: the Soft State Transport Protocol framework (Section 6).
+
+SSTP packages the paper's results as a reusable transport:
+
+* a **hierarchical namespace** over application data units with
+  per-node digests, so large data stores can be summarized in one
+  announcement and repaired by recursive descent
+  (:mod:`repro.sstp.namespace`, :mod:`repro.sstp.digest`);
+* **receiver reports** measuring packet loss RTCP-style
+  (:mod:`repro.sstp.receiver_report`);
+* a **profile-driven bandwidth allocator** that splits the session
+  bandwidth between data and feedback — and data between hot and cold
+  queues — to maximize predicted consistency at the measured loss rate
+  (:mod:`repro.sstp.allocator`, Figure 12);
+* a **congestion-manager interface** supplying the total available rate
+  (:mod:`repro.sstp.congestion`); SSTP allocates within it but does not
+  do congestion control itself, exactly as the paper prescribes;
+* an **application API** in the ALF spirit: applications publish named
+  ADUs with lifetimes and priorities, subscribe with interest filters,
+  pick a reliability level on a continuum from open-loop announce/listen
+  to feedback-based reliable transport, and receive rate-limit
+  notifications when their offered load exceeds the hot-queue bandwidth
+  (:mod:`repro.sstp.api`, :mod:`repro.sstp.protocol`).
+"""
+
+from repro.sstp.digest import digest_bytes, digest_leaf, digest_children
+from repro.sstp.namespace import Namespace, NamespaceNode
+from repro.sstp.receiver_report import LossEstimator, ReceiverReport
+from repro.sstp.congestion import (
+    AimdCongestionManager,
+    CongestionManager,
+    StaticCongestionManager,
+    SteppedCongestionManager,
+)
+from repro.sstp.allocator import Allocation, ProfileDrivenAllocator
+from repro.sstp.protocol import SstpReceiver, SstpResult, SstpSender
+from repro.sstp.api import ReliabilityLevel, SstpSession
+from repro.sstp.timers import (
+    RefreshEstimator,
+    detection_latency,
+    false_expiry_probability,
+)
+
+__all__ = [
+    "AimdCongestionManager",
+    "Allocation",
+    "CongestionManager",
+    "LossEstimator",
+    "Namespace",
+    "NamespaceNode",
+    "ProfileDrivenAllocator",
+    "ReceiverReport",
+    "RefreshEstimator",
+    "ReliabilityLevel",
+    "SstpReceiver",
+    "SstpResult",
+    "SstpSender",
+    "SstpSession",
+    "StaticCongestionManager",
+    "SteppedCongestionManager",
+    "digest_bytes",
+    "digest_children",
+    "digest_leaf",
+    "detection_latency",
+    "false_expiry_probability",
+]

@@ -1,0 +1,190 @@
+"""The profile-driven bandwidth allocator (Section 6.1, Figure 12).
+
+Inputs (exactly the three the paper lists):
+
+1. the average packet loss rate, from receiver reports;
+2. the application's consistency target (and optionally a soft delay
+   hint);
+3. the total available session bandwidth, from the congestion manager.
+
+Output: an :class:`Allocation` — the data/feedback split and the
+hot/cold split of the data bandwidth — chosen against stored
+*consistency profiles* (measured surfaces of consistency vs allocation
+per loss rate).  The allocator also computes the maximum new-data rate
+the hot queue can sustain; if the application's offered load exceeds it,
+the session notifies the application to adapt (the paper's rate-limit
+notification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core import ConsistencyProfile, LatencyProfile, ProfilePoint
+from repro.sstp.congestion import CongestionManager
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A complete bandwidth plan for the session."""
+
+    total_kbps: float
+    data_kbps: float
+    feedback_kbps: float
+    hot_share: float
+    predicted_consistency: float
+    max_update_kbps: float
+
+    @property
+    def hot_kbps(self) -> float:
+        return self.data_kbps * self.hot_share
+
+    @property
+    def cold_kbps(self) -> float:
+        return self.data_kbps * (1.0 - self.hot_share)
+
+    @property
+    def feedback_share(self) -> float:
+        return self.feedback_kbps / self.total_kbps if self.total_kbps else 0.0
+
+
+def default_feedback_profile() -> ConsistencyProfile:
+    """A built-in feedback-share profile with the Figure 8/9 shape.
+
+    Measured from this repository's own feedback-session sweeps
+    (see ``repro.experiments.figure9``); consistency rises with the
+    feedback share until NACK capacity covers the loss rate, plateaus,
+    then collapses once data bandwidth starves.  Applications with
+    unusual workloads should measure and install their own profile.
+    """
+    profile = ConsistencyProfile("feedback-default", knob_name="fb_share")
+    surface = {
+        0.01: [(0.0, 0.97), (0.05, 0.99), (0.10, 0.99), (0.30, 0.97), (0.50, 0.88), (0.70, 0.45)],
+        0.10: [(0.0, 0.92), (0.05, 0.97), (0.10, 0.98), (0.30, 0.95), (0.50, 0.85), (0.70, 0.42)],
+        0.30: [(0.0, 0.85), (0.05, 0.93), (0.10, 0.96), (0.30, 0.94), (0.50, 0.80), (0.70, 0.35)],
+        0.50: [(0.0, 0.72), (0.05, 0.85), (0.10, 0.92), (0.30, 0.90), (0.50, 0.70), (0.70, 0.25)],
+    }
+    for loss, points in surface.items():
+        for share, consistency in points:
+            profile.add(ProfilePoint(loss, share, consistency))
+    return profile
+
+
+class ProfileDrivenAllocator:
+    """Chooses {data, feedback, hot:cold} from consistency profiles."""
+
+    def __init__(
+        self,
+        congestion: CongestionManager,
+        feedback_profile: Optional[ConsistencyProfile] = None,
+        latency_profile: Optional[LatencyProfile] = None,
+        consistency_target: Optional[float] = None,
+        delay_target: Optional[float] = None,
+        hot_headroom: float = 1.15,
+        min_hot_share: float = 0.1,
+        max_hot_share: float = 0.95,
+    ) -> None:
+        if consistency_target is not None and not 0.0 < consistency_target <= 1.0:
+            raise ValueError(
+                f"consistency_target must be in (0, 1], got {consistency_target}"
+            )
+        if delay_target is not None and delay_target <= 0:
+            raise ValueError(
+                f"delay_target must be positive, got {delay_target}"
+            )
+        if hot_headroom < 1.0:
+            raise ValueError(
+                f"hot_headroom must be >= 1, got {hot_headroom}"
+            )
+        if not 0.0 < min_hot_share < max_hot_share < 1.0:
+            raise ValueError(
+                "need 0 < min_hot_share < max_hot_share < 1, got "
+                f"{min_hot_share}, {max_hot_share}"
+            )
+        self.congestion = congestion
+        self.feedback_profile = (
+            feedback_profile
+            if feedback_profile is not None
+            else default_feedback_profile()
+        )
+        self.consistency_target = consistency_target
+        #: Optional T_recv profile: the paper's "soft delay requirement"
+        #: hint steering the hot/cold split (Section 6.1).
+        self.latency_profile = latency_profile
+        self.delay_target = delay_target
+        self.hot_headroom = hot_headroom
+        self.min_hot_share = min_hot_share
+        self.max_hot_share = max_hot_share
+
+    def allocate(
+        self,
+        now: float,
+        loss_rate: float,
+        update_kbps: float,
+    ) -> Allocation:
+        """Produce a bandwidth plan for the current conditions.
+
+        ``update_kbps`` is the application's offered new-data rate
+        (lambda); it sizes the hot queue so that new data plus requested
+        repairs fit (mu_hot >= lambda * headroom / (1 - loss)).
+        """
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if update_kbps < 0:
+            raise ValueError(
+                f"update_kbps must be non-negative, got {update_kbps}"
+            )
+        total = self.congestion.available_kbps(now)
+
+        # 1. Feedback share from the consistency profile.
+        if self.consistency_target is not None:
+            share = self.feedback_profile.knob_for_target(
+                loss_rate, self.consistency_target
+            )
+            if share is None:
+                share, _ = self.feedback_profile.best_knob(loss_rate)
+        else:
+            share, _ = self.feedback_profile.best_knob(loss_rate)
+        predicted = self.feedback_profile.predict(loss_rate, share)
+        feedback_kbps = share * total
+        data_kbps = total - feedback_kbps
+
+        # 2. Hot share sized to carry new data plus loss repairs.
+        needed_hot = (
+            update_kbps * self.hot_headroom / max(1.0 - loss_rate, 1e-9)
+        )
+        if data_kbps > 0:
+            hot_share = needed_hot / data_kbps
+        else:
+            hot_share = self.max_hot_share
+        # The T_recv profile (Figure 6) steers the cold share: either
+        # the smallest cold allocation meeting the delay target, or the
+        # latency-minimizing one.  The hot floor always wins conflicts.
+        if self.latency_profile is not None:
+            if self.delay_target is not None:
+                cold_knob = self.latency_profile.knob_for_target(
+                    loss_rate, self.delay_target
+                )
+                if cold_knob is None:
+                    cold_knob, _ = self.latency_profile.best_knob(loss_rate)
+            else:
+                cold_knob, _ = self.latency_profile.best_knob(loss_rate)
+            hot_share = max(hot_share, 1.0 - cold_knob)
+        hot_share = min(self.max_hot_share, max(self.min_hot_share, hot_share))
+
+        # 3. The admissible application rate under this plan.
+        max_update = (
+            data_kbps
+            * self.max_hot_share
+            * (1.0 - loss_rate)
+            / self.hot_headroom
+        )
+        return Allocation(
+            total_kbps=total,
+            data_kbps=data_kbps,
+            feedback_kbps=feedback_kbps,
+            hot_share=hot_share,
+            predicted_consistency=predicted,
+            max_update_kbps=max_update,
+        )

@@ -1,0 +1,120 @@
+"""Congestion-manager interface.
+
+The paper is explicit: "SSTP does not attempt to perform congestion
+control nor determine the total available data rate ... but rather,
+relies on a congestion management module, such as the CM, to obtain
+this information."  This module provides that narrow interface plus
+three providers: a static rate (manually configured sessions, like the
+MBone tools), a stepped schedule (scripted rate changes for failure
+injection), and a toy AIMD probe (a stand-in for a real CM).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+
+class CongestionManager:
+    """Supplies the session's total available bandwidth (kbps)."""
+
+    def available_kbps(self, now: float) -> float:
+        raise NotImplementedError
+
+    def on_rate_change(self, callback: Callable[[float], None]) -> None:
+        """Register interest in rate changes (may never fire)."""
+        self._callbacks.append(callback)
+
+    def __init__(self) -> None:
+        self._callbacks: List[Callable[[float], None]] = []
+
+    def _notify(self, rate: float) -> None:
+        for callback in self._callbacks:
+            callback(rate)
+
+
+class StaticCongestionManager(CongestionManager):
+    """A manually configured session bandwidth, constant forever."""
+
+    def __init__(self, kbps: float) -> None:
+        super().__init__()
+        if kbps <= 0:
+            raise ValueError(f"kbps must be positive, got {kbps}")
+        self.kbps = kbps
+
+    def available_kbps(self, now: float) -> float:
+        return self.kbps
+
+
+class SteppedCongestionManager(CongestionManager):
+    """A piecewise-constant rate schedule: [(start_time, kbps), ...]."""
+
+    def __init__(self, steps: List[Tuple[float, float]]) -> None:
+        super().__init__()
+        if not steps:
+            raise ValueError("need at least one (time, kbps) step")
+        ordered = sorted(steps)
+        if ordered[0][0] > 0.0:
+            raise ValueError("first step must start at or before t=0")
+        for _, kbps in ordered:
+            if kbps <= 0:
+                raise ValueError(f"kbps must be positive, got {kbps}")
+        self.steps = ordered
+
+    def available_kbps(self, now: float) -> float:
+        rate = self.steps[0][1]
+        for start, kbps in self.steps:
+            if start <= now:
+                rate = kbps
+            else:
+                break
+        return rate
+
+
+class AimdCongestionManager(CongestionManager):
+    """A toy additive-increase/multiplicative-decrease rate probe.
+
+    Stands in for a real CM in simulations: the protocol calls
+    :meth:`on_loss_estimate` with the measured loss rate; rates grow by
+    ``increase_kbps`` per update while loss is below ``loss_threshold``
+    and halve when it is above.
+    """
+
+    def __init__(
+        self,
+        initial_kbps: float,
+        floor_kbps: float = 1.0,
+        ceiling_kbps: float = 10000.0,
+        increase_kbps: float = 1.0,
+        decrease_factor: float = 0.5,
+        loss_threshold: float = 0.05,
+    ) -> None:
+        super().__init__()
+        if initial_kbps <= 0:
+            raise ValueError(f"initial_kbps must be positive, got {initial_kbps}")
+        if not 0.0 < decrease_factor < 1.0:
+            raise ValueError(
+                f"decrease_factor must be in (0, 1), got {decrease_factor}"
+            )
+        if floor_kbps <= 0 or floor_kbps > ceiling_kbps:
+            raise ValueError("need 0 < floor_kbps <= ceiling_kbps")
+        self._rate = initial_kbps
+        self.floor_kbps = floor_kbps
+        self.ceiling_kbps = ceiling_kbps
+        self.increase_kbps = increase_kbps
+        self.decrease_factor = decrease_factor
+        self.loss_threshold = loss_threshold
+
+    def available_kbps(self, now: float) -> float:
+        return self._rate
+
+    def on_loss_estimate(self, loss_rate: float) -> float:
+        if loss_rate > self.loss_threshold:
+            self._rate = max(
+                self.floor_kbps, self._rate * self.decrease_factor
+            )
+        else:
+            self._rate = min(
+                self.ceiling_kbps, self._rate + self.increase_kbps
+            )
+        self._notify(self._rate)
+        return self._rate

@@ -1,0 +1,79 @@
+"""One-way digests for namespace summaries.
+
+Section 6.2: every namespace node carries a fixed-length summary of the
+subtree rooted at it, computed recursively with a one-way hash — the
+paper suggests MD5 [43]; any collision-resistant hash works, so the
+algorithm is configurable (default blake2b for speed, md5 available for
+fidelity).  A leaf's digest covers its ADU identity, version, and
+right-edge (bytes transmitted); an interior node's digest covers the
+ordered digests of its children, so any change anywhere in a subtree
+changes the root summary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable
+
+#: Digest length in bytes (fixed-length summaries, per the paper).
+DIGEST_SIZE = 16
+
+_ALGORITHMS = ("blake2b", "md5", "sha1", "sha256")
+
+
+def _hasher(algorithm: str):
+    if algorithm not in _ALGORITHMS:
+        raise ValueError(
+            f"unknown digest algorithm {algorithm!r}; "
+            f"choose from {_ALGORITHMS}"
+        )
+    if algorithm == "blake2b":
+        return hashlib.blake2b(digest_size=DIGEST_SIZE)
+    return hashlib.new(algorithm)
+
+
+def digest_bytes(data: bytes, algorithm: str = "blake2b") -> bytes:
+    """Hash raw bytes to a fixed-length digest."""
+    h = _hasher(algorithm)
+    h.update(data)
+    return h.digest()[:DIGEST_SIZE]
+
+
+def digest_leaf(
+    name: str,
+    version: int,
+    right_edge: int,
+    value: Any = None,
+    algorithm: str = "blake2b",
+) -> bytes:
+    """Digest of a leaf-level ADU.
+
+    The paper defines a leaf's summary as its right-edge (bytes
+    transmitted); we additionally fold in the ADU name, version, and a
+    stable rendering of the value so that *content* changes — not just
+    length changes — alter the summary.
+    """
+    if version < 0:
+        raise ValueError(f"version must be non-negative, got {version}")
+    if right_edge < 0:
+        raise ValueError(f"right_edge must be non-negative, got {right_edge}")
+    material = f"leaf\x00{name}\x00{version}\x00{right_edge}\x00{value!r}"
+    return digest_bytes(material.encode(), algorithm)
+
+
+def digest_children(
+    child_digests: Iterable[bytes], algorithm: str = "blake2b"
+) -> bytes:
+    """Digest of an interior node: h(S(c1), S(c2), ..., S(ck))."""
+    h = _hasher(algorithm)
+    h.update(b"node")
+    count = 0
+    for child in child_digests:
+        if not isinstance(child, (bytes, bytearray)):
+            raise ValueError(f"child digest must be bytes, got {child!r}")
+        h.update(b"\x00")
+        h.update(child)
+        count += 1
+    if count == 0:
+        raise ValueError("interior node must have at least one child digest")
+    return h.digest()[:DIGEST_SIZE]

@@ -1,0 +1,295 @@
+"""The SSTP hierarchical namespace (Section 6.2).
+
+An SSTP namespace is a hierarchical index over the ADUs a sender
+generates.  Each node carries a fixed-length digest of its subtree,
+recomputed bottom-up on every mutation (with dirty-propagation so only
+the changed path is rehashed).  Receivers mirror the structure; loss
+recovery proceeds by *recursive descent*: compare root digests, and on
+mismatch request the children's digests, descending only into differing
+branches until the stale leaves are found.
+
+Nodes may carry application-level metadata tags (e.g. a media type); a
+receiver with no interest in a branch can prune the descent there — the
+paper's PDA-browser example.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.sstp.digest import digest_children, digest_leaf
+
+PATH_SEPARATOR = "/"
+
+
+class NamespaceError(Exception):
+    """Raised for structural misuse of the namespace."""
+
+
+class NamespaceNode:
+    """One node: either an interior index node or a leaf ADU."""
+
+    def __init__(self, name: str, parent: Optional["NamespaceNode"]) -> None:
+        if PATH_SEPARATOR in name:
+            raise NamespaceError(
+                f"node name {name!r} must not contain {PATH_SEPARATOR!r}"
+            )
+        self.name = name
+        self.parent = parent
+        self.children: Dict[str, "NamespaceNode"] = {}
+        self.value: Any = None
+        self.version = 0
+        self.right_edge = 0
+        self.metadata: Dict[str, Any] = {}
+        self._digest: Optional[bytes] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def path(self) -> str:
+        parts: List[str] = []
+        node: Optional[NamespaceNode] = self
+        while node is not None and node.parent is not None:
+            parts.append(node.name)
+            node = node.parent
+        return PATH_SEPARATOR.join(reversed(parts))
+
+    def _invalidate(self) -> None:
+        # Clear self unconditionally (a fresh node starts at None), then
+        # walk up clearing every *cached* ancestor.  Stopping at the
+        # first uncached ancestor is safe: computing a digest always
+        # fills the whole subtree below it, so a None node can never
+        # have a cached ancestor.
+        self._digest = None
+        node = self.parent
+        while node is not None and node._digest is not None:
+            node._digest = None
+            node = node.parent
+
+    def digest(self, algorithm: str = "blake2b") -> bytes:
+        """The subtree summary, recomputed lazily after mutations."""
+        if self._digest is None:
+            if self.is_leaf:
+                self._digest = digest_leaf(
+                    self.path,
+                    self.version,
+                    self.right_edge,
+                    self.value,
+                    algorithm,
+                )
+            else:
+                self._digest = digest_children(
+                    (
+                        self.children[name].digest(algorithm)
+                        for name in sorted(self.children)
+                    ),
+                    algorithm,
+                )
+        return self._digest
+
+
+class Namespace:
+    """A digest-summarized tree of ADUs with path-based addressing."""
+
+    def __init__(self, algorithm: str = "blake2b") -> None:
+        self.algorithm = algorithm
+        self._root = NamespaceNode("", parent=None)
+        # The root hashes as an interior node; give it a sentinel child
+        # digest when empty so digest() is always defined.
+        self._leaf_count = 0
+
+    @property
+    def root(self) -> NamespaceNode:
+        return self._root
+
+    def root_digest(self) -> bytes:
+        if not self._root.children:
+            return digest_leaf("", 0, 0, None, self.algorithm)
+        return self._root.digest(self.algorithm)
+
+    def __len__(self) -> int:
+        return self._leaf_count
+
+    # -- mutation -----------------------------------------------------------
+    def publish(
+        self,
+        path: str,
+        value: Any,
+        size_bytes: int = 0,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> NamespaceNode:
+        """Insert or update the ADU at ``path``, creating interior nodes.
+
+        Returns the leaf node.  Each publish bumps the leaf version and
+        advances its right-edge by ``size_bytes``.
+        """
+        if size_bytes < 0:
+            raise NamespaceError(
+                f"size_bytes must be non-negative, got {size_bytes}"
+            )
+        parts = self._split(path)
+        node = self._root
+        for part in parts[:-1]:
+            child = node.children.get(part)
+            if child is None:
+                child = NamespaceNode(part, parent=node)
+                node.children[part] = child
+                node._invalidate()
+            elif child.is_leaf and child.version > 0:
+                raise NamespaceError(
+                    f"{child.path!r} is a published leaf; cannot nest under it"
+                )
+            node = child
+        leaf_name = parts[-1]
+        leaf = node.children.get(leaf_name)
+        if leaf is None:
+            leaf = NamespaceNode(leaf_name, parent=node)
+            node.children[leaf_name] = leaf
+            self._leaf_count += 1
+        elif not leaf.is_leaf:
+            raise NamespaceError(
+                f"{path!r} is an interior node; publish at a leaf"
+            )
+        elif leaf.version == 0 and leaf.value is None:
+            pass  # implicitly created placeholder
+        leaf.value = value
+        leaf.version += 1
+        leaf.right_edge += size_bytes
+        if metadata:
+            leaf.metadata.update(metadata)
+        leaf._invalidate()
+        return leaf
+
+    def install(
+        self,
+        path: str,
+        value: Any,
+        version: int,
+        right_edge: int,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> NamespaceNode:
+        """Receiver-side mirror install: set exact version/right-edge.
+
+        Unlike :meth:`publish` (which bumps the version), this stamps
+        the leaf with the sender-announced version and right-edge so the
+        mirrored digest matches the sender's when content matches.
+        Stale installs (version older than what is held) are ignored.
+        """
+        if version < 0:
+            raise NamespaceError(f"version must be non-negative, got {version}")
+        existing = self.find(path)
+        if (
+            existing is not None
+            and existing.is_leaf
+            and existing.version > version
+        ):
+            return existing
+        leaf = self.publish(path, value, size_bytes=0, metadata=metadata)
+        leaf.version = version
+        leaf.right_edge = right_edge
+        leaf._invalidate()
+        return leaf
+
+    def remove(self, path: str) -> None:
+        """Remove a leaf (and any interior nodes left empty)."""
+        node = self.find(path)
+        if node is None:
+            raise NamespaceError(f"no node at {path!r}")
+        if not node.is_leaf:
+            raise NamespaceError(f"{path!r} is interior; remove leaves")
+        self._leaf_count -= 1
+        parent = node.parent
+        del parent.children[node.name]
+        parent._invalidate()
+        while (
+            parent is not None
+            and parent.parent is not None
+            and not parent.children
+        ):
+            grand = parent.parent
+            del grand.children[parent.name]
+            grand._invalidate()
+            parent = grand
+
+    def set_metadata(self, path: str, **tags: Any) -> None:
+        """Attach application-level tags to any node (interest hints)."""
+        node = self.find(path)
+        if node is None:
+            raise NamespaceError(f"no node at {path!r}")
+        node.metadata.update(tags)
+        # Metadata is advisory; it does not change digests.
+
+    # -- queries --------------------------------------------------------------
+    def find(self, path: str) -> Optional[NamespaceNode]:
+        if path == "":
+            return self._root
+        node = self._root
+        for part in self._split(path):
+            node = node.children.get(part)
+            if node is None:
+                return None
+        return node
+
+    def child_summaries(self, path: str) -> List[Tuple[str, bytes]]:
+        """(child path, digest) pairs — the recursive-descent response."""
+        node = self.find(path)
+        if node is None:
+            raise NamespaceError(f"no node at {path!r}")
+        return [
+            (node.children[name].path, node.children[name].digest(self.algorithm))
+            for name in sorted(node.children)
+        ]
+
+    def leaves(self) -> Iterator[NamespaceNode]:
+        def walk(node: NamespaceNode) -> Iterator[NamespaceNode]:
+            if node.is_leaf and node is not self._root:
+                yield node
+            for name in sorted(node.children):
+                yield from walk(node.children[name])
+
+        return walk(self._root)
+
+    def diff_paths(self, other: "Namespace") -> List[str]:
+        """Leaf paths whose digests differ (offline comparison helper).
+
+        The on-the-wire protocol achieves the same comparison through
+        recursive descent; this helper is the oracle for tests.
+        """
+        differing: List[str] = []
+
+        def walk(path: str) -> None:
+            mine = self.find(path)
+            theirs = other.find(path)
+            if mine is None and theirs is None:
+                return
+            my_digest = mine.digest(self.algorithm) if mine else None
+            their_digest = (
+                theirs.digest(other.algorithm) if theirs else None
+            )
+            if my_digest == their_digest:
+                return
+            names = set()
+            if mine is not None:
+                names |= set(mine.children)
+            if theirs is not None:
+                names |= set(theirs.children)
+            if not names:
+                differing.append(path)
+                return
+            for name in sorted(names):
+                child_path = (
+                    f"{path}{PATH_SEPARATOR}{name}" if path else name
+                )
+                walk(child_path)
+
+        walk("")
+        return differing
+
+    @staticmethod
+    def _split(path: str) -> List[str]:
+        parts = [part for part in path.split(PATH_SEPARATOR) if part]
+        if not parts:
+            raise NamespaceError(f"invalid path {path!r}")
+        return parts

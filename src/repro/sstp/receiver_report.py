@@ -1,0 +1,92 @@
+"""RTCP-style receiver reports and loss estimation.
+
+Section 6.1: "The average packet loss rate, periodically obtained from
+RTCP-like receiver reports" feeds the bandwidth allocator.  The
+receiver counts expected vs received packets per report interval (from
+the sender's sequence numbers, as RTCP does) and sends a compact report;
+the sender smooths successive reports with an EWMA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ReceiverReport:
+    """One report: the receiver's view of an interval."""
+
+    receiver_id: str
+    timestamp: float
+    highest_seq: int
+    expected: int
+    received: int
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.expected <= 0:
+            return 0.0
+        lost = max(self.expected - self.received, 0)
+        return lost / self.expected
+
+
+class ReportBuilder:
+    """Receiver-side interval accounting from observed sequence numbers."""
+
+    def __init__(self, receiver_id: str) -> None:
+        self.receiver_id = receiver_id
+        self._highest_seq: Optional[int] = None
+        self._received = 0
+        self._interval_base: Optional[int] = None
+        self._interval_received = 0
+
+    def on_packet(self, seq: int) -> None:
+        if seq < 0:
+            raise ValueError(f"seq must be non-negative, got {seq}")
+        self._received += 1
+        self._interval_received += 1
+        if self._highest_seq is None or seq > self._highest_seq:
+            self._highest_seq = seq
+        if self._interval_base is None:
+            self._interval_base = seq
+
+    def build(self, now: float) -> Optional[ReceiverReport]:
+        """Emit the report for the current interval and start a new one."""
+        if self._highest_seq is None or self._interval_base is None:
+            return None
+        expected = self._highest_seq - self._interval_base + 1
+        report = ReceiverReport(
+            receiver_id=self.receiver_id,
+            timestamp=now,
+            highest_seq=self._highest_seq,
+            expected=expected,
+            received=self._interval_received,
+        )
+        self._interval_base = self._highest_seq + 1
+        self._interval_received = 0
+        return report
+
+
+class LossEstimator:
+    """Sender-side EWMA over receiver-reported loss fractions."""
+
+    def __init__(self, alpha: float = 0.25, initial: float = 0.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if not 0.0 <= initial <= 1.0:
+            raise ValueError(f"initial must be in [0, 1], got {initial}")
+        self.alpha = alpha
+        self._estimate = initial
+        self.reports_seen = 0
+
+    def update(self, report: ReceiverReport) -> float:
+        self._estimate += self.alpha * (
+            report.loss_fraction - self._estimate
+        )
+        self.reports_seen += 1
+        return self._estimate
+
+    @property
+    def estimate(self) -> float:
+        return self._estimate

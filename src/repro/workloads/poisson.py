@@ -1,0 +1,135 @@
+"""The paper's baseline workload: Poisson arrivals with random lifetimes.
+
+Records enter the publisher's table at rate ``arrival_rate`` (new keys)
+and live for an exponential (by default) lifetime, after which both the
+publisher and all receivers eliminate them — the "death process" of
+Section 3.  An optional ``update_fraction`` turns some events into value
+updates of a random live key, exercising the update path (an updated key
+becomes inconsistent again until redelivered).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Any, Callable, List
+
+from repro.des import Environment, Interrupt
+from repro.workloads.base import PublisherActions, Workload
+
+
+class PoissonUpdateWorkload(Workload):
+    """Poisson insert/update process with exponential lifetimes.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Events per second (the paper's lambda, in packets/s units).
+    lifetime_mean:
+        Mean record lifetime in seconds; ``math.inf`` for immortal
+        records.  The Section 3 death probability per transmission is
+        approximately ``1 / (lifetime_mean * per-record service rate)``.
+    update_fraction:
+        Probability that an event updates an existing live key instead
+        of inserting a new one (0 = pure insert, the paper's base case).
+    value_factory:
+        Builds the record value given (key, version); defaults to a
+        short descriptive string.
+    """
+
+    def __init__(
+        self,
+        arrival_rate: float,
+        lifetime_mean: float = math.inf,
+        update_fraction: float = 0.0,
+        fixed_lifetime: bool = False,
+        value_factory: Callable[[Any, int], Any] | None = None,
+        key_prefix: str = "rec",
+    ) -> None:
+        if arrival_rate <= 0:
+            raise ValueError(
+                f"arrival_rate must be positive, got {arrival_rate}"
+            )
+        if lifetime_mean <= 0:
+            raise ValueError(
+                f"lifetime_mean must be positive, got {lifetime_mean}"
+            )
+        if not 0.0 <= update_fraction <= 1.0:
+            raise ValueError(
+                f"update_fraction must be in [0, 1], got {update_fraction}"
+            )
+        self.arrival_rate = arrival_rate
+        self.lifetime_mean = lifetime_mean
+        self.update_fraction = update_fraction
+        self.fixed_lifetime = fixed_lifetime
+        self.value_factory = value_factory or (
+            lambda key, version: f"{key}/v{version}"
+        )
+        self.key_prefix = key_prefix
+        self._counter = itertools.count()
+        self._live_keys: List[Any] = []
+        self._versions: dict[Any, int] = {}
+
+    def _draw_lifetime(self, rng: random.Random) -> float:
+        if self.lifetime_mean == math.inf:
+            return math.inf
+        if self.fixed_lifetime:
+            return self.lifetime_mean
+        return rng.expovariate(1.0 / self.lifetime_mean)
+
+    def note_death(self, key: Any) -> None:
+        """Protocols call this when a record dies so updates skip it."""
+        if key in self._versions:
+            del self._versions[key]
+            try:
+                self._live_keys.remove(key)
+            except ValueError:
+                pass
+
+    def run(
+        self,
+        env: Environment,
+        actions: PublisherActions,
+        rng: random.Random,
+    ):
+        try:
+            yield from self._generate(env, actions, rng)
+        except Interrupt:
+            return  # publisher crash / shutdown: stop producing updates
+
+    def _generate(
+        self,
+        env: Environment,
+        actions: PublisherActions,
+        rng: random.Random,
+    ):
+        while True:
+            yield env.timeout(rng.expovariate(self.arrival_rate))
+            do_update = (
+                self._live_keys
+                and self.update_fraction > 0
+                and rng.random() < self.update_fraction
+            )
+            if do_update:
+                key = rng.choice(self._live_keys)
+                self._versions[key] += 1
+                actions.update(
+                    key, self.value_factory(key, self._versions[key])
+                )
+            else:
+                key = f"{self.key_prefix}-{next(self._counter)}"
+                self._versions[key] = 0
+                self._live_keys.append(key)
+                actions.insert(
+                    key,
+                    self.value_factory(key, 0),
+                    lifetime=self._draw_lifetime(rng),
+                )
+
+    def describe(self) -> str:
+        return (
+            f"Poisson(rate={self.arrival_rate}/s, "
+            f"lifetime~{self.lifetime_mean}s, "
+            f"updates={self.update_fraction:.0%})"
+        )

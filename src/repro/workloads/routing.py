@@ -1,0 +1,98 @@
+"""A routing-advertisement workload (RIP/BGP-style updates).
+
+The paper lists "route advertisements" among the inherently soft,
+periodically changing data that motivates SSTP.  This workload keeps a
+fixed table of routes (immortal keys) whose next-hop/metric values
+change when links flap; each flap makes every receiver's copy of that
+route stale until the new value is delivered.  Flaps arrive per-route as
+a Poisson process, with a configurable fraction of "flappy" routes that
+change far more often (route-flap pathology).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any
+
+from repro.des import Environment
+from repro.workloads.base import PublisherActions, Workload
+
+
+class RoutingUpdateWorkload(Workload):
+    """A fixed route table with Poisson value flaps."""
+
+    def __init__(
+        self,
+        n_routes: int = 50,
+        flap_interval_mean: float = 60.0,
+        flappy_fraction: float = 0.1,
+        flappy_speedup: float = 20.0,
+        max_metric: int = 16,
+    ) -> None:
+        if n_routes <= 0:
+            raise ValueError(f"n_routes must be positive, got {n_routes}")
+        if flap_interval_mean <= 0:
+            raise ValueError(
+                f"flap_interval_mean must be positive, got {flap_interval_mean}"
+            )
+        if not 0.0 <= flappy_fraction <= 1.0:
+            raise ValueError(
+                f"flappy_fraction must be in [0, 1], got {flappy_fraction}"
+            )
+        if flappy_speedup < 1.0:
+            raise ValueError(
+                f"flappy_speedup must be >= 1, got {flappy_speedup}"
+            )
+        self.n_routes = n_routes
+        self.flap_interval_mean = flap_interval_mean
+        self.flappy_fraction = flappy_fraction
+        self.flappy_speedup = flappy_speedup
+        self.max_metric = max_metric
+
+    def run(
+        self,
+        env: Environment,
+        actions: PublisherActions,
+        rng: random.Random,
+    ):
+        # Install the initial table, then flap each route independently.
+        for index in range(self.n_routes):
+            key = self._prefix(index)
+            actions.insert(key, self._route(rng), lifetime=math.inf)
+            flappy = rng.random() < self.flappy_fraction
+            env.process(self._flapper(env, actions, rng, key, flappy))
+        # The installer itself then idles forever (keeps a live process).
+        while True:
+            yield env.timeout(1e9)
+
+    def _flapper(
+        self,
+        env: Environment,
+        actions: PublisherActions,
+        rng: random.Random,
+        key: str,
+        flappy: bool,
+    ):
+        mean = self.flap_interval_mean
+        if flappy:
+            mean /= self.flappy_speedup
+        while True:
+            yield env.timeout(rng.expovariate(1.0 / mean))
+            actions.update(key, self._route(rng))
+
+    def _prefix(self, index: int) -> str:
+        return f"10.{index // 256}.{index % 256}.0/24"
+
+    def _route(self, rng: random.Random) -> dict[str, Any]:
+        return {
+            "next_hop": f"192.168.0.{rng.randint(1, 254)}",
+            "metric": rng.randint(1, self.max_metric),
+        }
+
+    def describe(self) -> str:
+        return (
+            f"Routing({self.n_routes} routes, "
+            f"flap~{self.flap_interval_mean:.0f}s, "
+            f"{self.flappy_fraction:.0%} flappy x{self.flappy_speedup:g})"
+        )

@@ -1,0 +1,97 @@
+"""An MBone session-directory workload (sdr/SAP).
+
+The paper repeatedly motivates soft state with the multicast session
+directory: conference announcements are long-lived records that expire
+"when the associated conference session ends", and new sessions appear
+throughout the day.  This workload models that: sessions arrive at a
+modest Poisson rate, live for a long (exponential) duration, and
+occasionally have their metadata edited (title or media description
+changes), which invalidates receivers' copies until redelivered.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any
+
+from repro.des import Environment
+from repro.workloads.base import PublisherActions, Workload
+
+
+class SessionDirectoryWorkload(Workload):
+    """Long-lived conference announcements with occasional edits."""
+
+    def __init__(
+        self,
+        session_rate: float = 1.0 / 120.0,
+        session_duration_mean: float = 3600.0,
+        edit_interval_mean: float = 900.0,
+        media: tuple[str, ...] = ("audio", "video", "whiteboard"),
+    ) -> None:
+        if session_rate <= 0:
+            raise ValueError(f"session_rate must be positive, got {session_rate}")
+        if session_duration_mean <= 0:
+            raise ValueError(
+                "session_duration_mean must be positive, got "
+                f"{session_duration_mean}"
+            )
+        if edit_interval_mean <= 0:
+            raise ValueError(
+                f"edit_interval_mean must be positive, got {edit_interval_mean}"
+            )
+        self.session_rate = session_rate
+        self.session_duration_mean = session_duration_mean
+        self.edit_interval_mean = edit_interval_mean
+        self.media = media
+        self._counter = itertools.count()
+
+    def run(
+        self,
+        env: Environment,
+        actions: PublisherActions,
+        rng: random.Random,
+    ):
+        while True:
+            yield env.timeout(rng.expovariate(self.session_rate))
+            session_id = f"session-{next(self._counter)}"
+            duration = rng.expovariate(1.0 / self.session_duration_mean)
+            announcement = self._announcement(session_id, 0, rng)
+            actions.insert(session_id, announcement, lifetime=duration)
+            env.process(self._editor(env, actions, rng, session_id, duration))
+
+    def _editor(
+        self,
+        env: Environment,
+        actions: PublisherActions,
+        rng: random.Random,
+        session_id: str,
+        duration: float,
+    ):
+        """Occasionally edits a session's metadata while it is live."""
+        deadline = env.now + duration
+        edition = 0
+        while True:
+            wait = rng.expovariate(1.0 / self.edit_interval_mean)
+            if env.now + wait >= deadline:
+                return
+            yield env.timeout(wait)
+            edition += 1
+            actions.update(
+                session_id, self._announcement(session_id, edition, rng)
+            )
+
+    def _announcement(
+        self, session_id: str, edition: int, rng: random.Random
+    ) -> dict[str, Any]:
+        return {
+            "name": f"{session_id} (rev {edition})",
+            "media": rng.sample(self.media, k=rng.randint(1, len(self.media))),
+            "bandwidth_kbps": rng.choice([16, 64, 128, 256]),
+        }
+
+    def describe(self) -> str:
+        return (
+            f"SessionDirectory(arrivals={self.session_rate:.4f}/s, "
+            f"duration~{self.session_duration_mean:.0f}s)"
+        )

@@ -1,0 +1,55 @@
+"""A static bulk workload: publish everything at t=0, then go quiet.
+
+The paper's eventual-consistency argument is about exactly this input:
+"For a static input at the source, announce/listen provides a simple
+form of reliability since eventually the receiver's state will match
+the sender's once all the records have been successfully transmitted."
+This workload creates that scenario — N immortal records at time zero —
+so experiments can measure *convergence time*: how long each protocol
+takes to deliver a given fraction of the store.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Callable, Optional
+
+from repro.des import Environment
+from repro.workloads.base import PublisherActions, Workload
+
+
+class StaticBulkWorkload(Workload):
+    """N records inserted at t=0; no churn afterwards."""
+
+    def __init__(
+        self,
+        n_records: int,
+        value_factory: Optional[Callable[[int], Any]] = None,
+        key_prefix: str = "bulk",
+    ) -> None:
+        if n_records <= 0:
+            raise ValueError(f"n_records must be positive, got {n_records}")
+        self.n_records = n_records
+        self.value_factory = value_factory or (lambda index: f"value-{index}")
+        self.key_prefix = key_prefix
+
+    def run(
+        self,
+        env: Environment,
+        actions: PublisherActions,
+        rng: random.Random,
+    ):
+        for index in range(self.n_records):
+            actions.insert(
+                f"{self.key_prefix}-{index}",
+                self.value_factory(index),
+                lifetime=math.inf,
+            )
+        # Stay alive but idle (a terminated workload is also fine; this
+        # keeps symmetry with the other workloads).
+        while True:
+            yield env.timeout(1e9)
+
+    def describe(self) -> str:
+        return f"StaticBulk({self.n_records} records at t=0)"

@@ -1,0 +1,104 @@
+"""A stock-quote dissemination workload (PointCast-style push).
+
+The paper cites "stock quote or general information dissemination
+services" as natural soft-state publishers.  This workload keeps a
+fixed universe of symbols whose quotes update continuously; update
+frequency across symbols follows a Zipf distribution (a few hot symbols
+trade constantly, a long tail rarely).  Quotes never die — only the
+latest value matters — so consistency measures staleness of receivers'
+quote tables.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+from repro.des import Environment
+from repro.workloads.base import PublisherActions, Workload
+
+
+class StockTickerWorkload(Workload):
+    """Zipf-popular quote updates over a fixed symbol table."""
+
+    def __init__(
+        self,
+        n_symbols: int = 100,
+        total_update_rate: float = 20.0,
+        zipf_exponent: float = 1.0,
+        initial_price: float = 100.0,
+    ) -> None:
+        if n_symbols <= 0:
+            raise ValueError(f"n_symbols must be positive, got {n_symbols}")
+        if total_update_rate <= 0:
+            raise ValueError(
+                f"total_update_rate must be positive, got {total_update_rate}"
+            )
+        if zipf_exponent < 0:
+            raise ValueError(
+                f"zipf_exponent must be non-negative, got {zipf_exponent}"
+            )
+        self.n_symbols = n_symbols
+        self.total_update_rate = total_update_rate
+        self.zipf_exponent = zipf_exponent
+        self.initial_price = initial_price
+        weights = [
+            1.0 / (rank**zipf_exponent) for rank in range(1, n_symbols + 1)
+        ]
+        total = sum(weights)
+        self._probabilities: List[float] = [w / total for w in weights]
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for p in self._probabilities:
+            acc += p
+            self._cumulative.append(acc)
+        self._prices: List[float] = []
+
+    def symbol(self, index: int) -> str:
+        return f"SYM{index:04d}"
+
+    def update_rate_of(self, index: int) -> float:
+        """Per-symbol update rate implied by the Zipf weights."""
+        return self.total_update_rate * self._probabilities[index]
+
+    def run(
+        self,
+        env: Environment,
+        actions: PublisherActions,
+        rng: random.Random,
+    ):
+        self._prices = [self.initial_price] * self.n_symbols
+        for index in range(self.n_symbols):
+            actions.insert(
+                self.symbol(index),
+                self._quote(index),
+                lifetime=math.inf,
+            )
+        while True:
+            yield env.timeout(rng.expovariate(self.total_update_rate))
+            index = self._draw_symbol(rng)
+            # Geometric-ish random walk in price.
+            self._prices[index] *= math.exp(rng.gauss(0.0, 0.005))
+            actions.update(self.symbol(index), self._quote(index))
+
+    def _draw_symbol(self, rng: random.Random) -> int:
+        target = rng.random()
+        low, high = 0, self.n_symbols - 1
+        while low < high:
+            mid = (low + high) // 2
+            if self._cumulative[mid] < target:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    def _quote(self, index: int) -> dict[str, float]:
+        return {"price": round(self._prices[index], 2)}
+
+    def describe(self) -> str:
+        return (
+            f"StockTicker({self.n_symbols} symbols, "
+            f"{self.total_update_rate:g} updates/s, "
+            f"zipf={self.zipf_exponent:g})"
+        )

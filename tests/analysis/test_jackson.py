@@ -1,0 +1,126 @@
+"""Unit tests for the multi-class Jackson network solver."""
+
+import pytest
+
+from repro.analysis import JacksonNetwork, QueueSpec, mm1_metrics
+
+
+def test_single_queue_single_class_reduces_to_mm1():
+    network = JacksonNetwork([QueueSpec("q", 2.0)], ["jobs"])
+    network.add_arrival("q", "jobs", 1.0)
+    solution = network.solve()
+    assert solution.utilization["q"] == pytest.approx(0.5)
+    mm1 = mm1_metrics(1.0, 2.0)
+    assert solution.mean_number("q") == pytest.approx(
+        mm1.mean_number_in_system
+    )
+    for n in range(5):
+        assert solution.marginal_pmf("q", n) == pytest.approx(mm1.prob_n(n))
+
+
+def test_feedback_loop_amplifies_throughput():
+    """A job re-enters the same queue w.p. 1/2: lam_eff = 2 lam."""
+    network = JacksonNetwork([QueueSpec("q", 10.0)], ["jobs"])
+    network.add_arrival("q", "jobs", 1.0)
+    network.set_routing("q", "jobs", "q", "jobs", 0.5)
+    solution = network.solve()
+    assert solution.throughputs[("q", "jobs")] == pytest.approx(2.0)
+    assert solution.utilization["q"] == pytest.approx(0.2)
+
+
+def test_tandem_queues():
+    network = JacksonNetwork(
+        [QueueSpec("first", 4.0), QueueSpec("second", 5.0)], ["jobs"]
+    )
+    network.add_arrival("first", "jobs", 2.0)
+    network.set_routing("first", "jobs", "second", "jobs", 1.0)
+    solution = network.solve()
+    assert solution.throughputs[("second", "jobs")] == pytest.approx(2.0)
+    assert solution.utilization["first"] == pytest.approx(0.5)
+    assert solution.utilization["second"] == pytest.approx(0.4)
+
+
+def test_class_switching_two_classes():
+    """Class a turns into class b half the time (like I -> C)."""
+    network = JacksonNetwork([QueueSpec("q", 10.0)], ["a", "b"])
+    network.add_arrival("q", "a", 1.0)
+    network.set_routing("q", "a", "q", "b", 0.5)
+    solution = network.solve()
+    assert solution.throughputs[("q", "a")] == pytest.approx(1.0)
+    assert solution.throughputs[("q", "b")] == pytest.approx(0.5)
+    mix = solution.class_mix("q")
+    assert mix["a"] == pytest.approx(2.0 / 3.0)
+    assert mix["b"] == pytest.approx(1.0 / 3.0)
+
+
+def test_joint_pmf_sums_to_marginal():
+    network = JacksonNetwork([QueueSpec("q", 10.0)], ["a", "b"])
+    network.add_arrival("q", "a", 2.0)
+    network.add_arrival("q", "b", 3.0)
+    solution = network.solve()
+    for n in range(4):
+        joint_sum = sum(
+            solution.joint_pmf("q", {"a": k, "b": n - k}) for k in range(n + 1)
+        )
+        assert joint_sum == pytest.approx(solution.marginal_pmf("q", n))
+
+
+def test_joint_pmf_total_probability_is_one():
+    network = JacksonNetwork([QueueSpec("q", 10.0)], ["a", "b"])
+    network.add_arrival("q", "a", 1.0)
+    network.add_arrival("q", "b", 2.0)
+    solution = network.solve()
+    total = sum(
+        solution.joint_pmf("q", {"a": i, "b": j})
+        for i in range(40)
+        for j in range(40)
+    )
+    assert total == pytest.approx(1.0, abs=1e-6)
+
+
+def test_mean_number_per_class_splits_by_mix():
+    network = JacksonNetwork([QueueSpec("q", 10.0)], ["a", "b"])
+    network.add_arrival("q", "a", 1.0)
+    network.add_arrival("q", "b", 3.0)
+    solution = network.solve()
+    assert solution.mean_number("q", "a") + solution.mean_number(
+        "q", "b"
+    ) == pytest.approx(solution.mean_number("q"))
+    assert solution.mean_number("q", "b") == pytest.approx(
+        3.0 * solution.mean_number("q", "a")
+    )
+
+
+def test_unstable_network_detected():
+    network = JacksonNetwork([QueueSpec("q", 1.0)], ["jobs"])
+    network.add_arrival("q", "jobs", 2.0)
+    solution = network.solve()
+    assert not solution.is_stable()
+    assert solution.mean_number("q") == float("inf")
+    with pytest.raises(ValueError):
+        solution.marginal_pmf("q", 0)
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        JacksonNetwork([], ["jobs"])
+    with pytest.raises(ValueError):
+        JacksonNetwork([QueueSpec("q", 1.0)], [])
+    with pytest.raises(ValueError):
+        QueueSpec("q", 0.0)
+    network = JacksonNetwork([QueueSpec("q", 1.0)], ["jobs"])
+    with pytest.raises(ValueError):
+        network.add_arrival("ghost", "jobs", 1.0)
+    with pytest.raises(ValueError):
+        network.add_arrival("q", "ghost", 1.0)
+    with pytest.raises(ValueError):
+        network.add_arrival("q", "jobs", -1.0)
+    with pytest.raises(ValueError):
+        network.set_routing("q", "jobs", "q", "jobs", 1.5)
+
+
+def test_routing_rows_must_not_exceed_one():
+    network = JacksonNetwork([QueueSpec("q", 1.0)], ["a", "b"])
+    network.set_routing("q", "a", "q", "a", 0.7)
+    with pytest.raises(ValueError, match="sums to"):
+        network.set_routing("q", "a", "q", "b", 0.7)

@@ -1,0 +1,64 @@
+"""Unit tests for M/M/1 formulas."""
+
+import math
+
+import pytest
+
+from repro.analysis import mm1_metrics
+
+
+def test_half_loaded_queue():
+    metrics = mm1_metrics(arrival_rate=1.0, service_rate=2.0)
+    assert metrics.utilization == pytest.approx(0.5)
+    assert metrics.mean_number_in_system == pytest.approx(1.0)
+    assert metrics.mean_sojourn_time == pytest.approx(1.0)
+    assert metrics.mean_waiting_time == pytest.approx(0.5)
+    assert metrics.mean_number_in_queue == pytest.approx(0.5)
+
+
+def test_littles_law_holds():
+    metrics = mm1_metrics(arrival_rate=3.0, service_rate=5.0)
+    assert metrics.mean_number_in_system == pytest.approx(
+        metrics.arrival_rate * metrics.mean_sojourn_time
+    )
+    assert metrics.mean_number_in_queue == pytest.approx(
+        metrics.arrival_rate * metrics.mean_waiting_time
+    )
+
+
+def test_occupancy_distribution_sums_to_one():
+    metrics = mm1_metrics(arrival_rate=2.0, service_rate=3.0)
+    total = sum(metrics.prob_n(n) for n in range(200))
+    assert total == pytest.approx(1.0, abs=1e-9)
+
+
+def test_sojourn_tail_is_exponential():
+    metrics = mm1_metrics(arrival_rate=1.0, service_rate=2.0)
+    assert metrics.prob_sojourn_exceeds(0.0) == 1.0
+    assert metrics.prob_sojourn_exceeds(1.0) == pytest.approx(math.exp(-1.0))
+
+
+def test_unstable_queue_rejected():
+    with pytest.raises(ValueError, match="unstable"):
+        mm1_metrics(arrival_rate=2.0, service_rate=2.0)
+
+
+def test_bad_parameters_rejected():
+    with pytest.raises(ValueError):
+        mm1_metrics(arrival_rate=-1.0, service_rate=2.0)
+    with pytest.raises(ValueError):
+        mm1_metrics(arrival_rate=1.0, service_rate=0.0)
+    metrics = mm1_metrics(1.0, 2.0)
+    with pytest.raises(ValueError):
+        metrics.prob_n(-1)
+    with pytest.raises(ValueError):
+        metrics.prob_sojourn_exceeds(-0.5)
+
+
+def test_paper_figure6_operating_point():
+    """Section 4 quotes ~300 ms latency for the single-queue system."""
+    # lam = 1.5 kbps arrivals? The paper approximates the no-cold system
+    # as M/M/1 with mu_hot ~= mu_data.  With mu=30 pkt/s and lam such
+    # that E[w] ~ 300 ms: mu - lam = 1/0.3 => lam ~= 26.7.
+    metrics = mm1_metrics(arrival_rate=30.0 - 1.0 / 0.3, service_rate=30.0)
+    assert metrics.mean_sojourn_time == pytest.approx(0.3, rel=1e-6)

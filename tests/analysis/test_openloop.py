@@ -1,0 +1,193 @@
+"""Unit tests for the Section 3 closed forms (open-loop announce/listen)."""
+
+import pytest
+
+from repro.analysis import (
+    OpenLoopModel,
+    expected_consistency,
+    redundant_bandwidth_fraction,
+    transition_matrix,
+)
+from repro.analysis.openloop import (
+    CONSISTENT,
+    INCONSISTENT,
+    consistent_fraction,
+    eventual_receipt_probability,
+)
+
+
+def test_transition_matrix_rows_sum_to_one():
+    table = transition_matrix(p_loss=0.3, p_death=0.2)
+    for row in table.values():
+        assert sum(row.values()) == pytest.approx(1.0)
+
+
+def test_transition_matrix_matches_table1():
+    """Table 1: I->I p_l(1-p_d); I->C (1-p_l)(1-p_d); ->exit p_d; C->C 1-p_d."""
+    p_loss, p_death = 0.4, 0.1
+    table = transition_matrix(p_loss, p_death)
+    assert table[INCONSISTENT][INCONSISTENT] == pytest.approx(0.4 * 0.9)
+    assert table[INCONSISTENT][CONSISTENT] == pytest.approx(0.6 * 0.9)
+    assert table[INCONSISTENT]["exit"] == pytest.approx(0.1)
+    assert table[CONSISTENT][INCONSISTENT] == 0.0
+    assert table[CONSISTENT][CONSISTENT] == pytest.approx(0.9)
+    assert table[CONSISTENT]["exit"] == pytest.approx(0.1)
+
+
+def test_traffic_equations_match_paper():
+    """lam_I = lam/(1 - p_l(1-p_d)); lam_total = lam/p_d."""
+    model = OpenLoopModel(
+        update_rate=2.0, channel_rate=16.0, p_loss=0.2, p_death=0.25
+    )
+    solution = model.solve()
+    denom = 1.0 - 0.2 * 0.75
+    assert solution.lambda_inconsistent == pytest.approx(2.0 / denom)
+    assert solution.lambda_consistent == pytest.approx(
+        0.8 * 0.75 * 2.0 / (0.25 * denom)
+    )
+    assert solution.lambda_total == pytest.approx(2.0 / 0.25)
+    assert solution.lambda_total == pytest.approx(
+        solution.lambda_inconsistent + solution.lambda_consistent
+    )
+
+
+def test_jackson_solver_agrees_with_closed_forms():
+    """The generic product-form solver must reproduce the paper algebra."""
+    model = OpenLoopModel(
+        update_rate=2.5, channel_rate=16.0, p_loss=0.1, p_death=0.2
+    )
+    closed = model.solve()
+    jackson = model.solve_jackson()
+    assert jackson.throughputs[("channel", INCONSISTENT)] == pytest.approx(
+        closed.lambda_inconsistent
+    )
+    assert jackson.throughputs[("channel", CONSISTENT)] == pytest.approx(
+        closed.lambda_consistent
+    )
+    assert jackson.utilization["channel"] == pytest.approx(closed.utilization)
+
+
+def test_expected_consistency_formula():
+    """E[c] = (1-p_l)(1-p_d)/(1 - p_l(1-p_d)) * lam/(p_d mu)."""
+    value = expected_consistency(
+        p_loss=0.1, p_death=0.2, update_rate=2.0, channel_rate=16.0
+    )
+    expected = (0.9 * 0.8) / (1.0 - 0.1 * 0.8) * (2.0 / (0.2 * 16.0))
+    assert value == pytest.approx(expected)
+
+
+def test_consistency_decreases_with_loss_and_death():
+    """The Figure 3 shape: monotone decreasing in both axes."""
+    base = dict(update_rate=20.0, channel_rate=128.0)
+    last = 1.1
+    for p_loss in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]:
+        value = expected_consistency(p_loss=p_loss, p_death=0.3, **base)
+        assert value < last + 1e-12
+        last = value
+    last = 1.1
+    for p_death in [0.2, 0.3, 0.4, 0.6, 0.9]:
+        value = expected_consistency(p_loss=0.1, p_death=p_death, **base)
+        assert value < last + 1e-12
+        last = value
+
+
+def test_paper_figure3_headline_band():
+    """'between 85% and 95% for loss 1-10% and death rate 15%'.
+
+    At lam=20, mu=128, p_d=0.15 the queue is marginally overloaded
+    (rho = 1.04); the extended formula caps rho at 1, landing in the
+    quoted band.
+    """
+    for p_loss in [0.01, 0.05, 0.10]:
+        value = expected_consistency(
+            p_loss=p_loss, p_death=0.15, update_rate=20.0, channel_rate=128.0
+        )
+        assert 0.80 <= value <= 0.95
+
+
+def test_consistency_saturates_at_rho_one():
+    low = expected_consistency(0.1, 0.15, update_rate=40.0, channel_rate=128.0)
+    high = expected_consistency(0.1, 0.15, update_rate=80.0, channel_rate=128.0)
+    assert low == pytest.approx(high)  # both overloaded: capped at q
+
+
+def test_zero_death_rate_limits():
+    assert expected_consistency(0.3, 0.0, 1.0, 10.0) == 1.0
+    assert expected_consistency(1.0, 0.0, 1.0, 10.0) == 0.0
+
+
+def test_redundant_fraction_matches_paper_figure4():
+    """'At loss rates of 0-20% and death rate 10%, ~90% wasted.'"""
+    for p_loss in [0.0, 0.1, 0.2]:
+        waste = redundant_bandwidth_fraction(p_loss=p_loss, p_death=0.10)
+        assert 0.85 <= waste <= 0.92
+
+
+def test_redundant_fraction_decreases_with_death_rate():
+    assert redundant_bandwidth_fraction(0.1, 0.5) < redundant_bandwidth_fraction(
+        0.1, 0.1
+    )
+
+
+def test_redundant_fraction_is_consistent_fraction_of_throughput():
+    model = OpenLoopModel(
+        update_rate=2.0, channel_rate=16.0, p_loss=0.2, p_death=0.25
+    )
+    solution = model.solve()
+    assert solution.redundant_fraction == pytest.approx(
+        solution.lambda_consistent / solution.lambda_total
+    )
+
+
+def test_eventual_receipt_probability():
+    assert eventual_receipt_probability(0.0, 0.5) == 1.0
+    assert eventual_receipt_probability(1.0, 0.5) == 0.0
+    # One retry allowed half the time: (1-p)/(1-p(1-d)).
+    assert eventual_receipt_probability(0.5, 0.5) == pytest.approx(
+        0.5 / (1 - 0.25)
+    )
+
+
+def test_stability_flag():
+    stable = OpenLoopModel(2.0, 16.0, 0.1, 0.25).solve()
+    assert stable.stable
+    unstable = OpenLoopModel(20.0, 16.0, 0.1, 0.25).solve()
+    assert not unstable.stable
+    assert unstable.mean_receive_latency == float("inf")
+
+
+def test_receive_latency_increases_with_loss():
+    low = OpenLoopModel(2.0, 16.0, 0.05, 0.25).solve().mean_receive_latency
+    high = OpenLoopModel(2.0, 16.0, 0.5, 0.25).solve().mean_receive_latency
+    assert high > low
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        OpenLoopModel(-1.0, 16.0, 0.1, 0.2)
+    with pytest.raises(ValueError):
+        OpenLoopModel(1.0, 0.0, 0.1, 0.2)
+    with pytest.raises(ValueError):
+        OpenLoopModel(1.0, 16.0, 1.5, 0.2)
+    with pytest.raises(ValueError):
+        OpenLoopModel(1.0, 16.0, 0.1, 0.0)
+    with pytest.raises(ValueError):
+        expected_consistency(0.1, 0.2, -1.0, 10.0)
+    with pytest.raises(ValueError):
+        expected_consistency(0.1, 0.2, 1.0, 0.0)
+
+
+def test_as_row_contains_all_report_fields():
+    row = OpenLoopModel(2.0, 16.0, 0.1, 0.2).solve().as_row()
+    assert set(row) == {
+        "p_loss",
+        "p_death",
+        "rho",
+        "consistency",
+        "redundant_fraction",
+        "receive_latency",
+    }
+
+
+def test_consistent_fraction_zero_when_everything_lost():
+    assert consistent_fraction(1.0, 0.3) == 0.0

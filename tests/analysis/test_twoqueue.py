@@ -1,0 +1,114 @@
+"""Tests for the approximate two-queue analysis, validated by simulation."""
+
+import math
+
+import pytest
+
+from repro.analysis import TwoQueueApproximation
+from repro.protocols import TwoQueueSession
+
+
+def approximation(**overrides):
+    params = dict(
+        update_rate=15.0,
+        data_rate=45.0,
+        hot_share=0.45,
+        loss_rate=0.3,
+        lifetime_mean=20.0,
+    )
+    params.update(overrides)
+    return TwoQueueApproximation(**params)
+
+
+def test_derived_quantities():
+    approx = approximation()
+    assert approx.hot_rate == pytest.approx(20.25)
+    assert approx.cold_rate == pytest.approx(24.75)
+    assert approx.live_records == pytest.approx(300.0)
+    assert approx.is_stable
+    assert approx.hot_wait == pytest.approx(1.0 / 5.25)
+    assert approx.cold_cycle == pytest.approx(300.0 / 24.75)
+
+
+def test_unstable_region_detected():
+    approx = approximation(hot_share=0.2)  # mu_hot = 9 < 15
+    assert not approx.is_stable
+    assert approx.hot_wait == math.inf
+    assert approx.receive_latency() == math.inf
+    assert approx.consistency() < 0.5
+
+
+def test_consistency_decreases_with_loss():
+    values = [
+        approximation(loss_rate=p).consistency()
+        for p in [0.0, 0.1, 0.3, 0.5, 0.7]
+    ]
+    assert all(a > b for a, b in zip(values, values[1:]))
+
+
+def test_consistency_increases_with_lifetime():
+    short = approximation(lifetime_mean=5.0).consistency()
+    long = approximation(lifetime_mean=60.0).consistency()
+    assert long > short
+
+
+def test_zero_loss_limit_is_hot_wait_only():
+    approx = approximation(loss_rate=0.0)
+    expected = math.exp(-approx.hot_wait / 20.0)
+    assert approx.consistency() == pytest.approx(expected)
+    assert approx.receive_latency() == pytest.approx(approx.hot_wait)
+
+
+def test_optimal_hot_share_rule():
+    approx = approximation()
+    assert approx.optimal_hot_share() == pytest.approx(
+        1.15 * 15.0 / 45.0
+    )
+    with pytest.raises(ValueError):
+        approx.optimal_hot_share(headroom=0.5)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        approximation(update_rate=0.0)
+    with pytest.raises(ValueError):
+        approximation(data_rate=-1.0)
+    with pytest.raises(ValueError):
+        approximation(hot_share=1.0)
+    with pytest.raises(ValueError):
+        approximation(loss_rate=1.0)
+    with pytest.raises(ValueError):
+        approximation(lifetime_mean=0.0)
+
+
+@pytest.mark.parametrize("loss", [0.1, 0.3, 0.5])
+def test_approximation_tracks_simulation(loss):
+    """The headline validation: closed form vs simulator within ~0.1."""
+    approx = approximation(loss_rate=loss)
+    simulated = TwoQueueSession(
+        hot_share=0.45,
+        data_kbps=45.0,
+        loss_rate=loss,
+        update_rate=15.0,
+        lifetime_mean=20.0,
+        seed=17,
+    ).run(horizon=300.0, warmup=60.0)
+    assert approx.consistency() == pytest.approx(
+        simulated.consistency, abs=0.1
+    )
+
+
+def test_latency_approximation_tracks_simulation():
+    approx = approximation(loss_rate=0.3)
+    simulated = TwoQueueSession(
+        hot_share=0.45,
+        data_kbps=45.0,
+        loss_rate=0.3,
+        update_rate=15.0,
+        lifetime_mean=20.0,
+        seed=17,
+    ).run(horizon=300.0, warmup=60.0)
+    # Loose bound: same order of magnitude and the right side of zero.
+    assert simulated.mean_receive_latency == pytest.approx(
+        approx.receive_latency(), rel=0.6
+    )

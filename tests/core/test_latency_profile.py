@@ -1,0 +1,63 @@
+"""Tests for the receive-latency (T_recv) profile."""
+
+import pytest
+
+from repro.core import LatencyPoint, LatencyProfile
+
+
+def figure6_like_profile():
+    """Latency rises then falls with the cold share (the Figure 6 hump)."""
+    profile = LatencyProfile("t_recv", knob_name="cold_share")
+    surface = {
+        0.1: [(0.0, 0.3), (0.2, 4.0), (0.5, 2.0), (0.8, 1.0)],
+        0.5: [(0.0, 0.5), (0.2, 12.0), (0.5, 6.0), (0.8, 3.0)],
+    }
+    for loss, points in surface.items():
+        for knob, latency in points:
+            profile.add(LatencyPoint(loss, knob, latency))
+    return profile
+
+
+def test_exact_and_interpolated_lookup():
+    profile = figure6_like_profile()
+    assert profile.predict(0.1, 0.2) == pytest.approx(4.0)
+    assert profile.predict(0.1, 0.35) == pytest.approx(3.0)
+    assert profile.predict(0.3, 0.0) == pytest.approx(0.4)
+
+
+def test_best_knob_minimizes_latency():
+    profile = figure6_like_profile()
+    knob, latency = profile.best_knob(0.1)
+    assert knob == 0.0
+    assert latency == pytest.approx(0.3)
+
+
+def test_knob_for_target_smallest_sufficient():
+    profile = figure6_like_profile()
+    # At 10% loss, 2s target: cold=0 (0.3s) already meets it.
+    assert profile.knob_for_target(0.1, 2.0) == 0.0
+    # An impossible target at 50% loss in the hump region.
+    assert profile.knob_for_target(0.5, 0.1) is None
+
+
+def test_clamping_and_rows():
+    profile = figure6_like_profile()
+    assert profile.predict(0.9, 0.9) == pytest.approx(3.0)
+    assert len(profile) == 8
+    assert profile.loss_rates == [0.1, 0.5]
+    assert profile.knobs(0.1) == [0.0, 0.2, 0.5, 0.8]
+
+
+def test_empty_profile_rejected():
+    profile = LatencyProfile("empty")
+    with pytest.raises(ValueError):
+        profile.predict(0.1, 0.5)
+    with pytest.raises(ValueError):
+        profile.best_knob(0.1)
+
+
+def test_point_validation():
+    with pytest.raises(ValueError):
+        LatencyPoint(loss_rate=2.0, knob=0.1, latency=1.0)
+    with pytest.raises(ValueError):
+        LatencyPoint(loss_rate=0.1, knob=0.1, latency=-1.0)

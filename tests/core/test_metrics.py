@@ -1,0 +1,114 @@
+"""Unit tests for latency recording and bandwidth accounting."""
+
+import math
+
+import pytest
+
+from repro.core import BandwidthLedger, LatencyRecorder
+
+
+def test_latency_first_receipt_only():
+    recorder = LatencyRecorder()
+    recorder.introduced("k", 0, now=1.0)
+    assert recorder.received("k", 0, now=3.5) == pytest.approx(2.5)
+    # Duplicate receipt is ignored.
+    assert recorder.received("k", 0, now=9.0) is None
+    assert recorder.count == 1
+    assert recorder.mean() == pytest.approx(2.5)
+
+
+def test_latency_tracks_versions_independently():
+    recorder = LatencyRecorder()
+    recorder.introduced("k", 0, now=0.0)
+    recorder.introduced("k", 1, now=10.0)
+    assert recorder.received("k", 1, now=11.0) == pytest.approx(1.0)
+    assert recorder.received("k", 0, now=12.0) == pytest.approx(12.0)
+
+
+def test_latency_reintroduction_keeps_first_time():
+    recorder = LatencyRecorder()
+    recorder.introduced("k", 0, now=0.0)
+    recorder.introduced("k", 0, now=5.0)  # duplicate introduction
+    assert recorder.received("k", 0, now=6.0) == pytest.approx(6.0)
+
+
+def test_abandoned_items_do_not_pollute_mean():
+    recorder = LatencyRecorder()
+    recorder.introduced("dead", 0, now=0.0)
+    recorder.abandoned("dead", 0)
+    assert recorder.received("dead", 0, now=100.0) is None
+    assert math.isnan(recorder.mean())
+    assert recorder.pending == 0
+
+
+def test_latency_percentiles():
+    recorder = LatencyRecorder()
+    for i in range(1, 11):
+        recorder.introduced(i, 0, now=0.0)
+        recorder.received(i, 0, now=float(i))
+    assert recorder.percentile(0) == 1.0
+    assert recorder.percentile(100) == 10.0
+    assert recorder.percentile(50) == pytest.approx(5.5)
+    assert recorder.max() == 10.0
+    with pytest.raises(ValueError):
+        recorder.percentile(101)
+
+
+def test_latency_empty_statistics_are_nan():
+    recorder = LatencyRecorder()
+    assert math.isnan(recorder.mean())
+    assert math.isnan(recorder.percentile(50))
+    assert math.isnan(recorder.max())
+
+
+def test_ledger_accumulates_by_category():
+    ledger = BandwidthLedger()
+    ledger.add("new", 1000)
+    ledger.add("redundant", 3000, packets=3)
+    ledger.add("feedback", 500)
+    assert ledger.bits("new") == 1000
+    assert ledger.packets("redundant") == 3
+    assert ledger.total_bits == 4500
+    assert ledger.data_bits == 4000
+
+
+def test_ledger_redundant_fraction_excludes_feedback():
+    ledger = BandwidthLedger()
+    ledger.add("new", 1000)
+    ledger.add("redundant", 1000)
+    ledger.add("feedback", 8000)
+    assert ledger.redundant_fraction() == pytest.approx(0.5)
+
+
+def test_ledger_feedback_fraction_is_of_total():
+    ledger = BandwidthLedger()
+    ledger.add("new", 3000)
+    ledger.add("feedback", 1000)
+    assert ledger.fraction("feedback") == pytest.approx(0.25)
+
+
+def test_ledger_rejects_unknown_category_and_negative_bits():
+    ledger = BandwidthLedger()
+    with pytest.raises(ValueError):
+        ledger.add("mystery", 100)
+    with pytest.raises(ValueError):
+        ledger.add("new", -1)
+    with pytest.raises(ValueError):
+        ledger.bits("mystery")
+    with pytest.raises(ValueError):
+        ledger.packets("mystery")
+
+
+def test_ledger_empty_fractions_are_zero():
+    ledger = BandwidthLedger()
+    assert ledger.redundant_fraction() == 0.0
+    assert ledger.fraction("feedback") == 0.0
+
+
+def test_ledger_as_dict_snapshot():
+    ledger = BandwidthLedger()
+    ledger.add("summary", 2000)
+    snapshot = ledger.as_dict()
+    assert snapshot["summary"] == 2000
+    snapshot["summary"] = 0  # must not alias internal state
+    assert ledger.bits("summary") == 2000

@@ -1,0 +1,132 @@
+"""Unit tests for consistency profiles (the SSTP allocator's lookup)."""
+
+import pytest
+
+from repro.core import ConsistencyProfile, ProfilePoint
+
+
+def figure9_like_profile():
+    """A profile shaped like Figure 9: rises with feedback then collapses."""
+    profile = ConsistencyProfile("feedback", knob_name="fb_share")
+    rows = {
+        0.1: [(0.0, 0.85), (0.2, 0.95), (0.4, 0.93), (0.7, 0.40)],
+        0.5: [(0.0, 0.50), (0.2, 0.90), (0.4, 0.95), (0.7, 0.35)],
+    }
+    for loss, points in rows.items():
+        for knob, consistency in points:
+            profile.add(ProfilePoint(loss, knob, consistency))
+    return profile
+
+
+def test_exact_point_lookup():
+    profile = figure9_like_profile()
+    assert profile.predict(0.1, 0.2) == pytest.approx(0.95)
+
+
+def test_interpolation_in_knob():
+    profile = figure9_like_profile()
+    assert profile.predict(0.1, 0.1) == pytest.approx((0.85 + 0.95) / 2)
+
+
+def test_interpolation_in_loss():
+    profile = figure9_like_profile()
+    assert profile.predict(0.3, 0.0) == pytest.approx((0.85 + 0.50) / 2)
+
+
+def test_bilinear_interpolation_both_axes():
+    profile = figure9_like_profile()
+    value = profile.predict(0.3, 0.1)
+    expected = ((0.85 + 0.95) / 2 + (0.50 + 0.90) / 2) / 2
+    assert value == pytest.approx(expected)
+
+
+def test_clamping_outside_grid():
+    profile = figure9_like_profile()
+    assert profile.predict(0.0, 0.0) == pytest.approx(0.85)
+    assert profile.predict(0.9, 1.0) == pytest.approx(0.35)
+
+
+def test_best_knob_tracks_loss_rate():
+    profile = figure9_like_profile()
+    knob_low, _ = profile.best_knob(0.1)
+    knob_high, _ = profile.best_knob(0.5)
+    # Higher loss needs more feedback bandwidth (the Figure 9 story).
+    assert knob_low == pytest.approx(0.2)
+    assert knob_high == pytest.approx(0.4)
+
+
+def test_knob_for_target_returns_smallest_sufficient():
+    profile = figure9_like_profile()
+    assert profile.knob_for_target(0.1, 0.90) == pytest.approx(0.2)
+    assert profile.knob_for_target(0.1, 0.999) is None
+
+
+def test_empty_profile_rejected():
+    profile = ConsistencyProfile("empty")
+    with pytest.raises(ValueError):
+        profile.predict(0.1, 0.5)
+    with pytest.raises(ValueError):
+        profile.best_knob(0.1)
+
+
+def test_point_validation():
+    with pytest.raises(ValueError):
+        ProfilePoint(loss_rate=1.5, knob=0.1, consistency=0.5)
+    with pytest.raises(ValueError):
+        ProfilePoint(loss_rate=0.1, knob=0.1, consistency=1.5)
+
+
+def test_add_many_and_rows():
+    profile = ConsistencyProfile("p", knob_name="hot_share")
+    profile.add_many(
+        [ProfilePoint(0.1, 0.3, 0.8), ProfilePoint(0.1, 0.6, 0.9)]
+    )
+    rows = profile.as_rows()
+    assert len(rows) == 2
+    assert rows[0]["hot_share"] == 0.3
+    assert len(profile) == 2
+
+
+def test_overwriting_a_point():
+    profile = ConsistencyProfile("p")
+    profile.add(ProfilePoint(0.1, 0.5, 0.7))
+    profile.add(ProfilePoint(0.1, 0.5, 0.9))
+    assert profile.predict(0.1, 0.5) == pytest.approx(0.9)
+    assert len(profile) == 1
+
+
+# -- persistence -----------------------------------------------------------------
+
+
+def test_consistency_profile_json_round_trip():
+    from repro.core.profiles import profile_from_json, profile_to_json
+
+    original = figure9_like_profile()
+    restored = profile_from_json(profile_to_json(original))
+    assert restored.name == original.name
+    assert restored.knob_name == original.knob_name
+    assert len(restored) == len(original)
+    assert restored.predict(0.3, 0.1) == pytest.approx(
+        original.predict(0.3, 0.1)
+    )
+
+
+def test_latency_profile_json_round_trip():
+    from repro.core import LatencyPoint, LatencyProfile
+    from repro.core.profiles import profile_from_json, profile_to_json
+
+    original = LatencyProfile("t", knob_name="cold")
+    original.add(LatencyPoint(0.1, 0.2, 3.5))
+    original.add(LatencyPoint(0.5, 0.8, 1.25))
+    restored = profile_from_json(profile_to_json(original))
+    assert restored.predict(0.1, 0.2) == pytest.approx(3.5)
+    assert restored.predict(0.5, 0.8) == pytest.approx(1.25)
+
+
+def test_profile_json_rejects_garbage():
+    from repro.core.profiles import profile_from_json, profile_to_json
+
+    with pytest.raises(TypeError):
+        profile_to_json(object())
+    with pytest.raises(ValueError):
+        profile_from_json('{"kind": "mystery", "points": []}')

@@ -1,0 +1,76 @@
+"""Unit tests for the experiment harness utilities."""
+
+import pytest
+
+from repro.experiments import ExperimentResult, format_table, run_experiment
+from repro.experiments.common import format_value
+from repro.experiments.registry import EXPERIMENTS
+
+
+def test_format_value_floats():
+    assert format_value(0.5) == "0.5"
+    assert format_value(1.0) == "1"
+    assert format_value(float("nan")) == "nan"
+    assert format_value(123456.0) == "1.235e+05"
+    assert format_value(0.0000123) == "1.230e-05"
+    assert format_value("text") == "text"
+
+
+def test_format_table_alignment_and_empty():
+    rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+    table = format_table(rows)
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "b" in lines[0]
+    assert format_table([]) == "   (no rows)"
+
+
+def test_result_series_grouping():
+    result = ExperimentResult(
+        "x",
+        "t",
+        rows=[
+            {"loss": 0.1, "x": 1, "y": 10},
+            {"loss": 0.1, "x": 2, "y": 20},
+            {"loss": 0.5, "x": 1, "y": 5},
+        ],
+    )
+    series = result.series("x", "y", group="loss")
+    assert series[0.1] == [(1, 10), (2, 20)]
+    assert series[0.5] == [(1, 5)]
+    assert result.column("y") == [10, 20, 5]
+
+
+def test_result_render_contains_everything():
+    result = ExperimentResult(
+        "figureX", "A title", rows=[{"a": 1}],
+        parameters={"p": 2}, notes="a note",
+    )
+    text = result.render()
+    assert "figureX" in text and "A title" in text
+    assert "p=2" in text and "a note" in text
+
+
+def test_registry_covers_every_table_and_figure():
+    expected = {
+        "table1",
+        "figure3",
+        "figure4",
+        "figure5",
+        "figure6",
+        "figure7",
+        "figure8",
+        "figure9",
+        "figure10",
+        "figure11",
+        "figure12",
+        "ext_suppression",
+        "ext_convergence",
+        "ext_gateway",
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ValueError, match="unknown experiment"):
+        run_experiment("figure99")

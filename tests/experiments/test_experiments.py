@@ -1,0 +1,164 @@
+"""Shape tests for every reproduced table/figure (quick scale).
+
+Each test runs the experiment at reduced scale and asserts the
+qualitative claim the paper makes about that figure — who wins, where
+the knees fall, which direction the curves bend.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run each experiment once at quick scale and cache it."""
+    cache = {}
+
+    def get(experiment_id):
+        if experiment_id not in cache:
+            cache[experiment_id] = run_experiment(experiment_id, quick=True)
+        return cache[experiment_id]
+
+    return get
+
+
+def test_table1_analytic_matches_measured(results):
+    for row in results("table1").rows:
+        assert row["measured"] == pytest.approx(row["analytic"], abs=0.05)
+
+
+def test_figure3_consistency_decreases_with_loss_and_death(results):
+    rows = results("figure3").rows
+    by_death = {}
+    for row in rows:
+        by_death.setdefault(row["p_death"], []).append(
+            (row["p_loss"], row["consistency"])
+        )
+    for series in by_death.values():
+        values = [c for _, c in sorted(series)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+    # More death -> less consistency at fixed loss.
+    at_low_loss = sorted(
+        (row["p_death"], row["consistency"])
+        for row in rows
+        if row["p_loss"] == 0.1
+    )
+    values = [c for _, c in at_low_loss]
+    assert all(a > b for a, b in zip(values, values[1:]))
+
+
+def test_figure3_headline_band(results):
+    rows = [
+        row
+        for row in results("figure3").rows
+        if row["p_death"] == 0.15 and 0.0 < row["p_loss"] <= 0.1
+    ]
+    assert rows
+    assert all(0.80 <= row["consistency"] <= 0.95 for row in rows)
+
+
+def test_figure4_ninety_percent_waste_headline(results):
+    rows = [
+        row
+        for row in results("figure4").rows
+        if row["p_death"] == 0.10 and row["p_loss"] <= 0.2
+    ]
+    assert rows
+    assert all(row["redundant_fraction"] > 0.85 for row in rows)
+
+
+def test_figure5_two_queue_gain_and_knee(results):
+    rows = results("figure5").rows
+    # Below the knee (hot < lambda) two-queue underperforms badly.
+    starved = [r for r in rows if r["hot_share"] < 0.33]
+    healthy = [r for r in rows if r["hot_share"] >= 0.4]
+    assert max(r["consistency"] for r in starved) < min(
+        r["consistency"] for r in healthy
+    )
+    # Past the knee, the paper's 10-40% gain over open loop.
+    assert all(0.05 <= r["gain"] <= 0.45 for r in healthy)
+
+
+def test_figure6_latency_rises_then_falls(results):
+    rows = sorted(results("figure6").rows, key=lambda r: r["cold_over_hot"])
+    latencies = [row["receive_latency_s"] for row in rows]
+    assert latencies[1] > latencies[0]  # rise from the floor
+    assert latencies[-1] < latencies[1]  # fall with ample cold bandwidth
+    consistencies = [row["consistency"] for row in rows]
+    assert consistencies[-1] > consistencies[0]  # cold helps consistency
+
+
+def test_figure7_state_machine_edges_all_legal(results):
+    rows = results("figure7").rows
+    legal = {
+        ("hot", "cold"),
+        ("cold", "cold"),
+        ("cold", "hot"),
+        ("hot", "dead"),
+        ("cold", "dead"),
+        ("hot", "hot"),
+    }
+    assert rows
+    for row in rows:
+        assert (row["from"], row["to"]) in legal
+    events = {row["event"] for row in rows}
+    assert "nack" in events  # feedback exercised the C->H edge
+
+
+def test_figure8_feedback_helps_then_collapses(results):
+    rows = results("figure8").rows
+    finals = {}
+    for row in rows:
+        finals[row["fb_share"]] = row["running_consistency"]
+    assert finals[0.2] > finals[0.0] + 0.05
+    assert finals[0.7] < finals[0.0]
+
+
+def test_figure9_gain_grows_with_loss(results):
+    rows = results("figure9").rows
+    best_gain = {}
+    for row in rows:
+        loss = row["loss"]
+        best_gain[loss] = max(
+            best_gain.get(loss, 0.0), row["gain_vs_open_loop"]
+        )
+    losses = sorted(best_gain)
+    assert best_gain[losses[-1]] > best_gain[losses[0]]
+    assert best_gain[losses[-1]] > 0.1
+
+
+def test_figure10_knee_at_lambda(results):
+    rows = {row["hot_share"]: row["consistency"] for row in results("figure10").rows}
+    below = [c for share, c in rows.items() if share * 38.0 < 15.0]
+    above = [c for share, c in rows.items() if share * 38.0 > 17.0]
+    assert max(below) < min(above) - 0.2
+
+
+def test_figure11_loss_caps_consistency(results):
+    rows = results("figure11").rows
+    best = {}
+    for row in rows:
+        best[row["loss"]] = max(
+            best.get(row["loss"], 0.0), row["consistency"]
+        )
+    losses = sorted(best)
+    assert best[losses[0]] > best[losses[-1]]
+
+
+def test_figure12_allocator_scenarios(results):
+    rows = results("figure12").rows
+    for row in rows:
+        assert row["data_kbps"] + row["fb_kbps"] == pytest.approx(50.0, abs=0.1)
+        assert row["hot_kbps"] + row["cold_kbps"] == pytest.approx(
+            row["data_kbps"], abs=0.1
+        )
+    # Higher loss at equal load -> at least as much feedback.
+    same_load = [row for row in rows if row["offered_kbps"] == 5.0]
+    fb = [row["fb_kbps"] for row in same_load]
+    assert fb == sorted(fb)
+
+
+def test_quick_and_full_share_structure():
+    quick = run_experiment("figure3", quick=True)
+    assert {"p_death", "p_loss", "consistency"} <= set(quick.rows[0])

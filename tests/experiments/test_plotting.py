@@ -1,0 +1,82 @@
+"""Tests for the terminal chart renderer."""
+
+import math
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.plotting import GLYPHS, ascii_plot, plot_experiment
+
+
+def test_single_series_corners():
+    chart = ascii_plot(
+        {"s": [(0.0, 0.0), (10.0, 1.0)]}, width=20, height=5
+    )
+    lines = chart.splitlines()
+    rows = [line.split("|", 1)[1] for line in lines if "|" in line]
+    assert rows[0].rstrip().endswith("*")  # (10, 1) top right
+    assert rows[-1].lstrip().startswith("*")  # (0, 0) bottom left
+
+
+def test_axis_labels_present():
+    chart = ascii_plot(
+        {"s": [(0.0, 0.2), (5.0, 0.9)]},
+        x_label="loss",
+        y_label="consistency",
+        title="demo",
+    )
+    assert "demo" in chart
+    assert "loss" in chart
+    assert "consistency" in chart
+    assert "0.9" in chart  # y max label
+
+
+def test_multiple_series_get_distinct_glyphs():
+    chart = ascii_plot(
+        {
+            "a": [(0, 0.1), (1, 0.2)],
+            "b": [(0, 0.8), (1, 0.9)],
+        }
+    )
+    assert GLYPHS[0] + " a" in chart
+    assert GLYPHS[1] + " b" in chart
+
+
+def test_nan_points_are_dropped():
+    chart = ascii_plot(
+        {"s": [(0.0, 0.5), (1.0, math.nan), (2.0, 0.7)]}
+    )
+    assert chart  # renders without error
+
+
+def test_degenerate_inputs_rejected():
+    with pytest.raises(ValueError):
+        ascii_plot({})
+    with pytest.raises(ValueError):
+        ascii_plot({"s": [(0.0, math.nan)]})
+    with pytest.raises(ValueError):
+        ascii_plot({"s": [(0, 0)]}, width=4, height=2)
+    with pytest.raises(ValueError):
+        ascii_plot({"s": [(0, 0), (1, 1)]}, y_range=(1.0, 0.0))
+
+
+def test_constant_series_renders():
+    chart = ascii_plot({"flat": [(0, 0.5), (1, 0.5), (2, 0.5)]})
+    assert "flat" in chart
+
+
+def test_fixed_y_range_clamps():
+    chart = ascii_plot(
+        {"s": [(0, -1.0), (1, 2.0)]}, y_range=(0.0, 1.0), height=6
+    )
+    assert chart.splitlines()[0].strip().startswith("1")
+
+
+def test_plot_experiment_from_result():
+    result = run_experiment("figure4", quick=True)
+    chart = plot_experiment(
+        result, x="p_loss", y="redundant_fraction", group="p_death",
+        y_range=(0.0, 1.0),
+    )
+    assert "figure4" in chart
+    assert "p_death=0.1" in chart

@@ -1,0 +1,202 @@
+"""Failure-injection integration tests.
+
+The paper's qualitative case for soft state is robustness: systems
+recover from receiver crashes, network partitions, and late joins "as a
+consequence of normal protocol operation".  These tests inject those
+failures and assert recovery — and assert that the hard-state baseline
+does *not* share the property.
+"""
+
+from repro.net import BernoulliLoss
+from repro.protocols import (
+    ArqSession,
+    MulticastFeedbackSession,
+    OpenLoopSession,
+    TwoQueueSession,
+)
+from repro.sstp import ReliabilityLevel, SstpSession
+
+
+class SwitchableLoss(BernoulliLoss):
+    """Bernoulli loss with a partition switch (100% loss when on)."""
+
+    def __init__(self, rate, rng=None):
+        super().__init__(rate, rng)
+        self.partitioned = False
+
+    def is_lost(self):
+        return True if self.partitioned else super().is_lost()
+
+
+def test_receiver_crash_heals_in_announce_listen():
+    session = TwoQueueSession(
+        hot_share=0.4,
+        data_kbps=45.0,
+        loss_rate=0.05,
+        update_rate=5.0,
+        lifetime_mean=60.0,
+        seed=21,
+        record_series=True,
+    )
+
+    def crash(env):
+        yield env.timeout(120.0)
+        session.receiver.table.clear()
+        session._observe(env.now)
+
+    session.env.process(crash(session.env))
+    result = session.run(horizon=400.0, warmup=40.0)
+    series = dict(result.consistency_series)
+    # Instantaneous consistency right after the crash is low, but the
+    # ongoing announcements rebuild the table; the final stretch is high.
+    late_values = [v for t, v in result.consistency_series if t > 350.0]
+    assert late_values
+    assert late_values[-1] > 0.85
+
+
+def test_partition_heals_without_explicit_recovery():
+    loss = SwitchableLoss(0.05)
+    session = TwoQueueSession(
+        hot_share=0.4,
+        data_kbps=45.0,
+        loss_model=loss,
+        update_rate=5.0,
+        lifetime_mean=60.0,
+        seed=22,
+    )
+
+    checkpoints = {}
+
+    def director(env):
+        yield env.timeout(120.0)
+        loss.partitioned = True
+        yield env.timeout(60.0)
+        checkpoints["during"] = session.meter.instantaneous(env.now)
+        loss.partitioned = False
+        yield env.timeout(120.0)
+        checkpoints["after"] = session.meter.instantaneous(env.now)
+
+    session.env.process(director(session.env))
+    session.run(horizon=360.0, warmup=40.0)
+    assert checkpoints["during"] is not None
+    assert checkpoints["after"] is not None
+    assert checkpoints["after"] > checkpoints["during"] + 0.2
+    assert checkpoints["after"] > 0.8
+
+
+def test_arq_crash_recovery_contrast():
+    """ARQ state stays lost after a receiver crash (no refreshes);
+    announce/listen recovers.  The central robustness contrast."""
+
+    def run(session_cls, **kwargs):
+        session = session_cls(
+            data_kbps=45.0,
+            loss_rate=0.05,
+            update_rate=2.0,
+            lifetime_mean=10000.0,
+            seed=23,
+            **kwargs,
+        )
+
+        def crash(env):
+            yield env.timeout(100.0)
+            session.receiver.table.clear()
+            session._observe(env.now)
+
+        session.env.process(crash(session.env))
+        return session.run(horizon=260.0, warmup=20.0)
+
+    soft = run(OpenLoopSession)
+    hard = run(ArqSession, ack_kbps=10.0, rto=0.5)
+    assert soft.consistency > hard.consistency + 0.25
+
+
+def test_sstp_receiver_crash_detected_by_summaries():
+    session = SstpSession(
+        total_kbps=50.0,
+        n_receivers=1,
+        loss_rate=0.1,
+        reliability=ReliabilityLevel.RELIABLE,
+        seed=24,
+        adapt_interval=None,
+    )
+    for index in range(30):
+        session.publish(f"store/item{index}", index)
+
+    def crash(env):
+        yield env.timeout(60.0)
+        receiver = session.receivers[0]
+        receiver.mirror = type(receiver.mirror)()  # wipe the mirror
+
+    session.env.process(crash(session.env))
+    session.run(horizon=200.0)
+    mirror = session.receivers[0].mirror
+    # Root-summary mismatch drove a full recursive re-sync.
+    assert len(mirror) == 30
+    assert (
+        mirror.root_digest() == session.sender.namespace.root_digest()
+    )
+
+
+def test_late_joiner_catches_up_from_cold_cycle():
+    """The paper: periodic retransmissions 'benefit late joiners in an
+    ongoing multicast session'."""
+    session = MulticastFeedbackSession(
+        n_receivers=2,
+        data_kbps=40.0,
+        feedback_kbps=5.0,
+        loss_rate=0.05,
+        hot_share=0.5,
+        update_rate=3.0,
+        lifetime_mean=200.0,
+        seed=25,
+        join_times={"rcv-1": 150.0},
+    )
+    result = session.run(horizon=400.0, warmup=20.0)
+    early, late = session.receivers
+    live_keys = set(session.publisher.live_keys(session.env.now))
+    late_keys = {
+        record.key
+        for record in late.table.live_records(session.env.now)
+    }
+    # The late joiner holds (nearly) the whole live set by the end.
+    assert len(live_keys & late_keys) / max(len(live_keys), 1) > 0.9
+    # Its lifetime-average consistency is naturally lower than the
+    # early member's (it was absent for 150 s of the metered window).
+    assert (
+        result.per_receiver_consistency["rcv-1"]
+        < result.per_receiver_consistency["rcv-0"]
+    )
+
+
+def test_sender_silence_expires_receiver_state_with_scalable_timers():
+    """When the publisher dies, adaptive receiver timers age state out."""
+    from repro.sstp import RefreshEstimator
+
+    session = TwoQueueSession(
+        hot_share=0.4,
+        data_kbps=45.0,
+        loss_rate=0.0,
+        update_rate=5.0,
+        lifetime_mean=1e9,  # records never die on their own
+        refresh_estimator=RefreshEstimator(multiple=3.0),
+        seed=26,
+    )
+
+    stopped = {}
+
+    def kill_sender(env):
+        yield env.timeout(100.0)
+        # Publisher crash: no more updates, drop every record so
+        # announcements cease entirely.
+        session.workload_process.interrupt("publisher crash")
+        for key in list(session.publisher.live_keys(env.now)):
+            session.publisher.delete(key)
+            session._drop_from_queues(key)
+        stopped["at"] = env.now
+
+    session.env.process(kill_sender(session.env))
+    session.run(horizon=300.0, warmup=10.0)
+    # All receiver copies timed out after the refreshes stopped.
+    session.receiver.table.expire(session.env.now)
+    assert len(session.receiver.table) == 0

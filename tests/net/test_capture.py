@@ -1,0 +1,117 @@
+"""Tests for packet capture and trace analysis."""
+
+import pytest
+
+from repro.des import Environment
+from repro.net import (
+    Channel,
+    DeterministicLoss,
+    MulticastChannel,
+    NoLoss,
+    Packet,
+    PacketCapture,
+)
+
+
+def run_capture(loss=None, n=20, size_bits=1000):
+    env = Environment()
+    channel = Channel(env, rate_kbps=10.0, loss=loss or NoLoss())
+    capture = PacketCapture().attach(channel)
+    for seq in range(n):
+        channel.send(Packet(seq=seq, size_bits=size_bits))
+    env.run(until=100.0)
+    return capture
+
+
+def test_capture_records_every_serviced_packet():
+    capture = run_capture(n=10)
+    assert len(capture) == 10
+    assert capture.records[0].seq == 0
+    assert not capture.records[0].lost
+
+
+def test_capture_loss_rate_and_runs():
+    capture = run_capture(loss=DeterministicLoss(period=4), n=20)
+    assert capture.loss_rate == pytest.approx(0.25)
+    assert capture.loss_runs() == [1, 1, 1, 1, 1]
+    assert capture.mean_burst_length() == 1.0
+
+
+def test_capture_kind_accounting():
+    env = Environment()
+    channel = Channel(env, rate_kbps=100.0)
+    capture = PacketCapture().attach(channel)
+    channel.send(Packet(kind="announce"))
+    channel.send(Packet(kind="nack", size_bits=100))
+    channel.send(Packet(kind="announce"))
+    env.run(until=10.0)
+    assert capture.kinds() == {"announce": 2, "nack": 1}
+    assert capture.bits_by_kind() == {"announce": 2000, "nack": 100}
+
+
+def test_rate_series_reflects_bandwidth():
+    # 10 kbps channel, continuously backlogged 1000-bit packets.
+    capture = run_capture(n=100)
+    series = capture.rate_series(window=1.0)
+    assert series
+    # Middle windows should be at the full channel rate.
+    middle = [kbps for _, kbps in series[1:-1]]
+    assert middle
+    assert sum(middle) / len(middle) == pytest.approx(10.0, rel=0.15)
+
+
+def test_loss_series_tracks_deterministic_pattern():
+    capture = run_capture(loss=DeterministicLoss(period=2), n=40)
+    series = capture.loss_series(window=2.0)
+    overall = sum(fraction for _, fraction in series) / len(series)
+    assert overall == pytest.approx(0.5, abs=0.15)
+
+
+def test_trace_export_replays_identically():
+    capture = run_capture(loss=DeterministicLoss(period=3), n=12)
+    trace = capture.to_trace_loss()
+    replayed = [trace.is_lost() for _ in range(12)]
+    assert replayed == [record.lost for record in capture.records]
+
+
+def test_multicast_capture_per_receiver_view():
+    env = Environment()
+    mc = MulticastChannel(env, rate_kbps=10.0)
+    mc.join("a", lambda p: None, loss=NoLoss())
+    mc.join("b", lambda p: None, loss=DeterministicLoss(period=2))
+    capture_b = PacketCapture().attach_multicast(mc, "b")
+    for seq in range(10):
+        mc.send(Packet(seq=seq))
+    env.run(until=10.0)
+    assert len(capture_b) == 10
+    assert capture_b.loss_rate == pytest.approx(0.5)
+
+
+def test_bounded_capture_drops_beyond_limit():
+    env = Environment()
+    channel = Channel(env, rate_kbps=100.0)
+    capture = PacketCapture(max_records=5).attach(channel)
+    for seq in range(10):
+        channel.send(Packet(seq=seq))
+    env.run(until=10.0)
+    assert len(capture) == 5
+    assert capture.dropped_records == 5
+
+
+def test_validation_and_empty_behaviour():
+    with pytest.raises(ValueError):
+        PacketCapture(max_records=0)
+    capture = PacketCapture()
+    assert capture.loss_rate == 0.0
+    assert capture.rate_series(1.0) == []
+    assert capture.loss_series(1.0) == []
+    assert capture.mean_burst_length() == 0.0
+    with pytest.raises(ValueError):
+        capture.to_trace_loss()
+    with pytest.raises(ValueError):
+        capture.rate_series(0.0)
+    with pytest.raises(ValueError):
+        capture.loss_series(-1.0)
+    rows = run_capture(n=3).as_rows()
+    assert len(rows) == 3
+    assert {"time", "kind", "seq", "size_bits", "lost"} <= set(rows[0])

@@ -1,0 +1,191 @@
+"""Unit tests for links and lossy channels."""
+
+import random
+
+import pytest
+
+from repro.des import Environment, RngStreams
+from repro.net import (
+    BernoulliLoss,
+    Channel,
+    DeterministicLoss,
+    DuplexPath,
+    Link,
+    MulticastChannel,
+    NoLoss,
+    Packet,
+)
+
+
+def test_link_serializes_at_rate():
+    env = Environment()
+    link = Link(env, rate_kbps=1.0)  # 1 kbps -> 1 s per 1000-bit packet
+    arrivals = []
+    link.subscribe(lambda p: arrivals.append(env.now))
+    link.send(Packet())
+    link.send(Packet())
+    env.run(until=10.0)
+    assert arrivals == [1.0, 2.0]
+
+
+def test_link_propagation_delay_adds_latency():
+    env = Environment()
+    link = Link(env, rate_kbps=1.0, delay=0.5)
+    arrivals = []
+    link.subscribe(lambda p: arrivals.append(env.now))
+    link.send(Packet())
+    env.run(until=5.0)
+    assert arrivals == [1.5]
+
+
+def test_link_infinite_rate_is_delay_only():
+    env = Environment()
+    link = Link(env, rate_kbps=float("inf"), delay=2.0)
+    arrivals = []
+    link.subscribe(lambda p: arrivals.append(env.now))
+    link.send(Packet())
+    env.run(until=5.0)
+    assert arrivals == [2.0]
+
+
+def test_link_rejects_bad_parameters():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Link(env, rate_kbps=0)
+    with pytest.raises(ValueError):
+        Link(env, rate_kbps=1.0, delay=-1.0)
+
+
+def test_channel_delivers_in_fifo_order():
+    env = Environment()
+    channel = Channel(env, rate_kbps=10.0)
+    got = []
+    channel.subscribe(lambda p: got.append(p.seq))
+    for seq in range(5):
+        channel.send(Packet(seq=seq))
+    env.run(until=10.0)
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_channel_loss_drops_packets():
+    env = Environment()
+    channel = Channel(env, rate_kbps=10.0, loss=DeterministicLoss(period=2))
+    got = []
+    channel.subscribe(lambda p: got.append(p.seq))
+    for seq in range(6):
+        channel.send(Packet(seq=seq))
+    env.run(until=10.0)
+    assert got == [0, 2, 4]
+    assert channel.packets_dropped == 3
+    assert channel.observed_loss_rate == pytest.approx(0.5)
+
+
+def test_channel_serviced_hook_reports_loss_outcome():
+    env = Environment()
+    channel = Channel(env, rate_kbps=10.0, loss=DeterministicLoss(period=3))
+    outcomes = []
+    channel.on_serviced(lambda p, lost: outcomes.append(lost))
+    for _ in range(3):
+        channel.send(Packet())
+    env.run(until=10.0)
+    assert outcomes == [False, False, True]
+
+
+def test_channel_service_rate_matches_packet_size():
+    env = Environment()
+    channel = Channel(env, rate_kbps=128.0)
+    assert channel.service_rate_pps == 128.0
+    assert channel.service_time(Packet()) == pytest.approx(1 / 128.0)
+
+
+def test_channel_backlog_counts_waiting_packets():
+    env = Environment()
+    channel = Channel(env, rate_kbps=1.0)
+    for _ in range(5):
+        channel.send(Packet())
+    env.run(until=0.5)  # first packet still in service
+    assert channel.backlog == 4
+
+
+def test_channel_empirical_loss_rate_converges():
+    env = Environment()
+    rng = RngStreams(seed=11)
+    channel = Channel(
+        env, rate_kbps=1000.0, loss=BernoulliLoss(0.25, rng=rng["loss"])
+    )
+    for _ in range(4000):
+        channel.send(Packet())
+    env.run(until=100.0)
+    assert abs(channel.observed_loss_rate - 0.25) < 0.03
+
+
+def test_multicast_fanout_independent_loss():
+    env = Environment()
+    mc = MulticastChannel(env, rate_kbps=10.0)
+    got = {"a": [], "b": []}
+    mc.join("a", lambda p: got["a"].append(p.seq), loss=NoLoss())
+    mc.join("b", lambda p: got["b"].append(p.seq), loss=DeterministicLoss(period=2))
+    for seq in range(4):
+        mc.send(Packet(seq=seq))
+    env.run(until=10.0)
+    assert got["a"] == [0, 1, 2, 3]
+    assert got["b"] == [0, 2]
+    assert mc.packets_sent == 4
+    assert mc.delivered_per_receiver == {"a": 4, "b": 2}
+
+
+def test_multicast_join_twice_rejected():
+    env = Environment()
+    mc = MulticastChannel(env, rate_kbps=10.0)
+    mc.join("a", lambda p: None)
+    with pytest.raises(ValueError):
+        mc.join("a", lambda p: None)
+
+
+def test_multicast_leave_stops_delivery():
+    env = Environment()
+    mc = MulticastChannel(env, rate_kbps=10.0)
+    got = []
+    mc.join("a", lambda p: got.append(p.seq))
+
+    def leaver(env):
+        yield env.timeout(0.15)
+        mc.leave("a")
+
+    env.process(leaver(env))
+    for seq in range(3):
+        mc.send(Packet(seq=seq))
+    env.run(until=10.0)
+    assert got == [0]
+
+
+def test_multicast_serviced_hook_sees_per_receiver_outcomes():
+    env = Environment()
+    mc = MulticastChannel(env, rate_kbps=10.0)
+    mc.join("a", lambda p: None, loss=NoLoss())
+    mc.join("b", lambda p: None, loss=DeterministicLoss(period=1))
+    seen = []
+    mc.on_serviced(lambda p, outcomes: seen.append(dict(outcomes)))
+    mc.send(Packet())
+    env.run(until=1.0)
+    assert seen == [{"a": False, "b": True}]
+
+
+def test_duplex_path_routes_both_directions():
+    env = Environment()
+    path = DuplexPath(env, data_kbps=10.0, feedback_kbps=5.0)
+    data, feedback = [], []
+    path.forward.subscribe(lambda p: data.append(p.kind))
+    path.reverse.subscribe(lambda p: feedback.append(p.kind))
+    path.send_data(Packet(kind="announce"))
+    assert path.send_feedback(Packet(kind="nack"))
+    env.run(until=5.0)
+    assert data == ["announce"]
+    assert feedback == ["nack"]
+
+
+def test_duplex_path_zero_feedback_bandwidth():
+    env = Environment()
+    path = DuplexPath(env, data_kbps=10.0, feedback_kbps=0.0)
+    assert path.reverse is None
+    assert not path.send_feedback(Packet(kind="nack"))

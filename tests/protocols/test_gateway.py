@@ -1,0 +1,79 @@
+"""Tests for the soft-state gateway (bandwidth-island bridging)."""
+
+import pytest
+
+from repro.protocols import GatewaySession
+
+BASE = dict(
+    local_kbps=100.0,
+    bottleneck_kbps=8.0,
+    update_rate=3.0,
+    lifetime_mean=60.0,
+    seed=4,
+)
+RUN = dict(horizon=250.0, warmup=50.0)
+
+
+def test_soft_state_gateway_keeps_remote_island_consistent():
+    result = GatewaySession(mode="soft_state", **BASE).run(**RUN)
+    assert result.end_to_end_consistency > 0.8
+    assert result.bottleneck_backlog_end < 50
+
+
+def test_forwarder_mode_collapses_under_rate_mismatch():
+    """Verbatim relaying across a slow link builds an unbounded queue:
+    the failure soft-state gateways exist to prevent."""
+    soft = GatewaySession(mode="soft_state", **BASE).run(**RUN)
+    naive = GatewaySession(mode="forwarder", **BASE).run(**RUN)
+    assert naive.bottleneck_backlog_end > 1000
+    assert naive.end_to_end_consistency < 0.2
+    assert soft.end_to_end_consistency > naive.end_to_end_consistency + 0.5
+    assert soft.mean_remote_latency < naive.mean_remote_latency / 5
+
+
+def test_gateway_view_tracks_publisher_closely():
+    result = GatewaySession(mode="soft_state", **BASE).run(**RUN)
+    assert result.gateway_consistency > 0.85
+    # End-to-end can never beat the gateway's own view by much.
+    assert (
+        result.end_to_end_consistency
+        <= result.gateway_consistency + 0.05
+    )
+
+
+def test_fast_bottleneck_closes_the_gap():
+    slow = GatewaySession(mode="soft_state", **BASE).run(**RUN)
+    fast = GatewaySession(
+        mode="soft_state", **{**BASE, "bottleneck_kbps": 40.0}
+    ).run(**RUN)
+    assert fast.end_to_end_consistency >= slow.end_to_end_consistency
+
+
+def test_bandwidth_ledger_separates_link_traffic():
+    session = GatewaySession(mode="soft_state", **BASE)
+    session.run(**RUN)
+    # Local announcements are 'new'; bottleneck re-announcements 'repair'.
+    assert session.ledger.bits("new") > 0
+    assert session.ledger.bits("repair") > 0
+
+
+def test_determinism():
+    a = GatewaySession(mode="soft_state", **BASE).run(**RUN)
+    b = GatewaySession(mode="soft_state", **BASE).run(**RUN)
+    assert a.end_to_end_consistency == b.end_to_end_consistency
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        GatewaySession(mode="store_and_forward", update_rate=1.0)
+    with pytest.raises(ValueError):
+        GatewaySession(local_kbps=0.0, update_rate=1.0)
+    with pytest.raises(ValueError):
+        GatewaySession(hot_share=1.5, update_rate=1.0)
+    with pytest.raises(ValueError):
+        GatewaySession(update_rate=1.0, announce_interval=0.0)
+    with pytest.raises(ValueError):
+        GatewaySession()  # neither workload nor update_rate
+    session = GatewaySession(update_rate=1.0)
+    with pytest.raises(ValueError):
+        session.run(horizon=10.0, warmup=10.0)

@@ -1,0 +1,96 @@
+"""Tests for multicast announce/listen with slotting-and-damping NACKs."""
+
+import pytest
+
+from repro.protocols import MulticastFeedbackSession
+
+
+def make_session(n_receivers, seed=3, **overrides):
+    params = dict(
+        n_receivers=n_receivers,
+        data_kbps=40.0,
+        feedback_kbps=5.0,
+        loss_rate=0.02,
+        shared_loss_rate=0.25,
+        hot_share=0.7,
+        update_rate=8.0,
+        lifetime_mean=25.0,
+        seed=seed,
+    )
+    params.update(overrides)
+    return MulticastFeedbackSession(**params)
+
+
+RUN = dict(horizon=150.0, warmup=30.0)
+
+
+def test_single_receiver_converges():
+    result = make_session(1).run(**RUN)
+    assert result.consistency > 0.9
+    assert result.nacks_sent > 0
+    assert result.repairs_transmitted > 0
+
+
+def test_all_receivers_converge():
+    result = make_session(4).run(**RUN)
+    assert len(result.per_receiver_consistency) == 4
+    assert all(c > 0.85 for c in result.per_receiver_consistency.values())
+
+
+def test_suppression_happens_under_shared_loss():
+    result = make_session(8).run(**RUN)
+    assert result.nacks_suppressed > 0
+
+
+def test_nack_traffic_grows_sublinearly_with_group_size():
+    """Slotting and damping: shared losses are requested ~once, not N
+    times, so NACK traffic must not scale with the group."""
+    small = make_session(2).run(**RUN)
+    large = make_session(8).run(**RUN)
+    assert large.nacks_sent < 4.0 * small.nacks_sent * 0.9
+
+
+def test_one_repair_serves_the_whole_group():
+    """With purely shared loss, repairs ~ loss events regardless of N."""
+    result = make_session(6, loss_rate=0.0).run(**RUN)
+    assert result.nacks_per_loss_event < 3.0
+
+
+def test_feedback_improves_over_no_usable_feedback():
+    with_fb = make_session(4).run(**RUN)
+    # Starve the feedback channel instead of removing it entirely.
+    without_fb = make_session(4, feedback_kbps=0.01).run(**RUN)
+    assert with_fb.consistency > without_fb.consistency
+
+
+def test_updates_propagate_to_all_members():
+    session = make_session(3, loss_rate=0.0, shared_loss_rate=0.1)
+    result = session.run(**RUN)
+    assert result.consistency > 0.9
+
+
+def test_determinism_under_seed():
+    a = make_session(3, seed=9).run(**RUN)
+    b = make_session(3, seed=9).run(**RUN)
+    assert a.consistency == b.consistency
+    assert a.nacks_sent == b.nacks_sent
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_session(0)
+    with pytest.raises(ValueError):
+        make_session(1, data_kbps=0.0)
+    with pytest.raises(ValueError):
+        make_session(1, feedback_kbps=0.0)
+    with pytest.raises(ValueError):
+        make_session(1, hot_share=1.0)
+    with pytest.raises(ValueError):
+        make_session(1, slot_min=0.5, slot_max=0.2)
+    with pytest.raises(ValueError):
+        MulticastFeedbackSession(
+            n_receivers=1, data_kbps=10.0, feedback_kbps=1.0
+        )  # no workload, no update_rate
+    session = make_session(1)
+    with pytest.raises(ValueError):
+        session.run(horizon=10.0, warmup=10.0)

@@ -1,0 +1,76 @@
+"""Tests for the rate-capped (non-borrowing) two-queue session."""
+
+import pytest
+
+from repro.protocols import RateCappedTwoQueueSession
+
+BASE = dict(update_rate=1.5, lifetime_mean=60.0, seed=13)
+RUN = dict(horizon=300.0, warmup=50.0)
+
+
+def test_zero_cold_bandwidth_never_retransmits():
+    session = RateCappedTwoQueueSession(
+        hot_kbps=3.0, cold_kbps=0.0, loss_rate=0.3, **BASE
+    )
+    result = session.run(**RUN)
+    assert session.cold_channel is None
+    # Every record transmitted at most once => no redundancy at all.
+    assert result.bandwidth_bits["redundant"] == 0.0
+    # ~30% of records are simply never delivered.
+    assert result.consistency < 0.85
+
+
+def test_cold_bandwidth_repairs_losses():
+    without = RateCappedTwoQueueSession(
+        hot_kbps=3.0, cold_kbps=0.0, loss_rate=0.3, **BASE
+    ).run(**RUN)
+    with_cold = RateCappedTwoQueueSession(
+        hot_kbps=3.0, cold_kbps=6.0, loss_rate=0.3, **BASE
+    ).run(**RUN)
+    assert with_cold.consistency > without.consistency + 0.1
+
+
+def test_no_borrowing_hot_idle_does_not_speed_cold():
+    """Unlike the proportional scheduler, idle hot bandwidth is wasted."""
+    low_cold = RateCappedTwoQueueSession(
+        hot_kbps=30.0, cold_kbps=0.3, loss_rate=0.3, **BASE
+    ).run(**RUN)
+    # With mu_hot = 30 >> lambda = 1.5 the hot queue is idle ~95% of the
+    # time; were borrowing allowed, cold would run at ~28 kbps and fix
+    # everything quickly.  With strict caps it crawls at 0.3 kbps.
+    assert low_cold.consistency < 0.9
+
+
+def test_combined_packet_and_loss_accounting():
+    session = RateCappedTwoQueueSession(
+        hot_kbps=3.0, cold_kbps=3.0, loss_rate=0.25, **BASE
+    )
+    result = session.run(**RUN)
+    total = (
+        session.data_channel.packets_sent
+        + session.cold_channel.packets_sent
+    )
+    assert result.data_packets == total
+    assert result.observed_loss_rate == pytest.approx(0.25, abs=0.06)
+
+
+def test_dead_records_leave_both_queues():
+    session = RateCappedTwoQueueSession(
+        hot_kbps=3.0, cold_kbps=3.0, loss_rate=0.1,
+        update_rate=2.0, lifetime_mean=10.0, seed=13,
+    )
+    session.run(horizon=200.0, warmup=20.0)
+    live = set(session.publisher.live_keys(session.env.now))
+    assert set(session._cold_ring) <= live
+    assert set(session._hot_queue) <= live
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RateCappedTwoQueueSession(
+            hot_kbps=3.0, cold_kbps=-1.0, update_rate=1.0
+        )
+    with pytest.raises(ValueError):
+        RateCappedTwoQueueSession(
+            hot_kbps=0.0, cold_kbps=1.0, update_rate=1.0
+        )

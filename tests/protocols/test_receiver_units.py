@@ -1,0 +1,131 @@
+"""Unit tests for SoftStateReceiver (gap detection, hold-time policy)."""
+
+import pytest
+
+from repro.core import LatencyRecorder
+from repro.des import Environment
+from repro.net import Packet
+from repro.protocols.base import SoftStateReceiver
+from repro.sstp import RefreshEstimator
+
+
+def announce(key, value, version=0, seq=None, expires_at=1e9, repairs=()):
+    return Packet(
+        kind="announce",
+        key=key,
+        seq=seq,
+        payload={
+            "key": key,
+            "value": value,
+            "version": version,
+            "expires_at": expires_at,
+            "repairs": repairs,
+        },
+    )
+
+
+def make_receiver(**kwargs):
+    env = Environment()
+    return env, SoftStateReceiver(env, LatencyRecorder(), **kwargs)
+
+
+def test_in_order_delivery_no_gaps():
+    _, receiver = make_receiver()
+    for seq in range(5):
+        receiver.deliver(announce(f"k{seq}", seq, seq=seq))
+    assert receiver.missing_seqs == set()
+    assert len(receiver.table) == 5
+
+
+def test_gap_detection_reports_missing_range():
+    _, receiver = make_receiver()
+    gaps = []
+    receiver.on_gap = gaps.append
+    receiver.deliver(announce("a", 1, seq=0))
+    receiver.deliver(announce("b", 2, seq=4))
+    assert gaps == [[1, 2, 3]]
+    assert receiver.missing_seqs == {1, 2, 3}
+
+
+def test_reordered_old_seq_does_not_regress():
+    _, receiver = make_receiver()
+    receiver.deliver(announce("a", 1, seq=5))
+    receiver.deliver(announce("b", 2, seq=2))  # late arrival, no new gap
+    assert receiver.missing_seqs == {0, 1, 2, 3, 4}
+    receiver.deliver(announce("c", 3, seq=6))
+    assert 6 not in receiver.missing_seqs
+
+
+def test_repairs_clear_missing_seqs():
+    _, receiver = make_receiver()
+    receiver.deliver(announce("a", 1, seq=0))
+    receiver.deliver(announce("b", 2, seq=3))
+    receiver.deliver(announce("c", 3, seq=4, repairs=(1, 2)))
+    assert receiver.missing_seqs == set()
+
+
+def test_missing_set_is_bounded():
+    _, receiver = make_receiver()
+    receiver.max_missing = 10
+    receiver.deliver(announce("a", 1, seq=0))
+    receiver.deliver(announce("b", 2, seq=100))
+    assert len(receiver.missing_seqs) == 10
+    # The *newest* holes are retained.
+    assert max(receiver.missing_seqs) == 99
+
+
+def test_duplicate_refreshes_timer_and_counts():
+    env, receiver = make_receiver()
+    receiver.deliver(announce("k", "v", version=1, seq=0, expires_at=50.0))
+    record = receiver.table.get("k")
+    first_refresh = record.last_refreshed
+    env._now = 10.0  # advance the clock directly for the unit test
+    receiver.deliver(announce("k", "v", version=1, seq=1, expires_at=50.0))
+    assert receiver.duplicates == 1
+    assert receiver.table.get("k").last_refreshed > first_refresh
+
+
+def test_hold_time_defaults_to_announced_expiry():
+    env, receiver = make_receiver()
+    receiver.deliver(announce("k", "v", seq=0, expires_at=42.0))
+    assert receiver.table.get("k").subscriber_expiry == pytest.approx(42.0)
+
+
+def test_hold_time_with_static_multiple():
+    env, receiver = make_receiver(
+        hold_multiple=2.0, announce_interval_hint=5.0
+    )
+    receiver.deliver(announce("k", "v", seq=0, expires_at=1e9))
+    assert receiver.table.get("k").subscriber_expiry == pytest.approx(10.0)
+
+
+def test_hold_multiple_without_hint_raises():
+    env, receiver = make_receiver(hold_multiple=2.0)
+    with pytest.raises(ValueError, match="announce_interval_hint"):
+        receiver.deliver(announce("k", "v", seq=0))
+
+
+def test_hold_time_with_estimator_follows_measured_interval():
+    env, receiver = make_receiver(
+        refresh_estimator=RefreshEstimator(alpha=1.0, multiple=3.0)
+    )
+    receiver.deliver(announce("k", "v", version=1, seq=0, expires_at=1e9))
+    env._now = 4.0
+    receiver.deliver(announce("k", "v", version=1, seq=1, expires_at=1e9))
+    # Interval 4 s, multiple 3: expiry ~ now + 12.
+    assert receiver.table.get("k").subscriber_expiry == pytest.approx(16.0)
+
+
+def test_newer_version_replaces_value():
+    _, receiver = make_receiver()
+    receiver.deliver(announce("k", "old", version=1, seq=0))
+    receiver.deliver(announce("k", "new", version=2, seq=1))
+    assert receiver.table.get("k").value == "new"
+
+
+def test_on_deliver_hook_sees_packets():
+    _, receiver = make_receiver()
+    seen = []
+    receiver.on_deliver = lambda packet: seen.append(packet.payload["key"])
+    receiver.deliver(announce("k", "v", seq=0))
+    assert seen == ["k"]

@@ -1,0 +1,311 @@
+"""Integration tests for the protocol-level sessions.
+
+These exercise the paper's qualitative claims end-to-end: two-queue
+scheduling beats single-queue open-loop, feedback beats both at equal
+total bandwidth, the hot-bandwidth knee sits at lambda, and the ARQ
+baseline is fragile across receiver crashes.
+"""
+
+import math
+
+import pytest
+
+from repro.net import GilbertElliottLoss
+from repro.protocols import (
+    ArqSession,
+    FeedbackSession,
+    OpenLoopSession,
+    TwoQueueSession,
+)
+from repro.workloads import PoissonUpdateWorkload
+
+RUN = dict(horizon=250.0, warmup=50.0)
+BASE = dict(update_rate=15.0, lifetime_mean=20.0, seed=11)
+
+
+def test_open_loop_reaches_high_consistency_at_low_loss():
+    """With a small live set the FIFO ring revisits records quickly."""
+    session = OpenLoopSession(
+        data_kbps=45.0, loss_rate=0.01,
+        update_rate=2.0, lifetime_mean=50.0, seed=11,
+    )
+    result = session.run(**RUN)
+    assert result.consistency > 0.85
+
+
+def test_open_loop_fifo_penalizes_new_data_under_heavy_live_set():
+    """The paper's core criticism: new data waits behind redundant
+    retransmissions of the whole live set, even at 1% loss."""
+    result = OpenLoopSession(data_kbps=45.0, loss_rate=0.01, **BASE).run(**RUN)
+    # ~300 live records cycling at 45 pkt/s: first transmission waits
+    # several seconds, capping consistency well below 1.
+    assert result.mean_receive_latency > 2.0
+    assert result.consistency < 0.85
+
+
+def test_open_loop_consistency_degrades_with_loss():
+    low = OpenLoopSession(data_kbps=45.0, loss_rate=0.05, **BASE).run(**RUN)
+    high = OpenLoopSession(data_kbps=45.0, loss_rate=0.5, **BASE).run(**RUN)
+    assert high.consistency < low.consistency
+
+
+def test_open_loop_most_bandwidth_is_redundant():
+    """The Figure 4 effect at the protocol level."""
+    result = OpenLoopSession(data_kbps=45.0, loss_rate=0.1, **BASE).run(**RUN)
+    assert result.redundant_fraction > 0.5
+
+
+def test_two_queue_beats_open_loop():
+    """Section 4's headline: differentiation improves consistency."""
+    open_loop = OpenLoopSession(data_kbps=45.0, loss_rate=0.3, **BASE).run(
+        **RUN
+    )
+    two_queue = TwoQueueSession(
+        hot_share=0.4, data_kbps=45.0, loss_rate=0.3, **BASE
+    ).run(**RUN)
+    assert two_queue.consistency > open_loop.consistency + 0.05
+
+
+def test_two_queue_knee_at_arrival_rate():
+    """Figure 5: consistency rises until mu_hot ~ lambda, then flattens."""
+    results = {}
+    for hot_share in [0.1, 0.2, 0.45, 0.7]:
+        results[hot_share] = TwoQueueSession(
+            hot_share=hot_share, data_kbps=45.0, loss_rate=0.2, **BASE
+        ).run(**RUN)
+    # lambda/mu_data = 1/3: shares below it underperform.
+    assert results[0.45].consistency > results[0.1].consistency + 0.05
+    # Beyond the knee, more hot bandwidth changes little.
+    assert abs(
+        results[0.7].consistency - results[0.45].consistency
+    ) < 0.08
+
+
+def test_feedback_improves_consistency_at_equal_total_bandwidth():
+    """Section 5: feedback helps without extra bandwidth (40% loss)."""
+    mu_tot = 45.0
+    no_feedback = TwoQueueSession(
+        hot_share=0.65, data_kbps=mu_tot, loss_rate=0.4, **BASE
+    ).run(**RUN)
+    with_feedback = FeedbackSession(
+        hot_share=0.75,
+        data_kbps=mu_tot * 0.8,
+        feedback_kbps=mu_tot * 0.2,
+        loss_rate=0.4,
+        **BASE,
+    ).run(**RUN)
+    assert with_feedback.consistency > no_feedback.consistency + 0.08
+
+
+def test_feedback_collapses_when_data_starves():
+    """Figure 8's right edge: feedback at 70% of total starves data."""
+    mu_tot = 45.0
+    result = FeedbackSession(
+        hot_share=0.9,
+        data_kbps=mu_tot * 0.3,
+        feedback_kbps=mu_tot * 0.7,
+        loss_rate=0.4,
+        **BASE,
+    ).run(**RUN)
+    assert result.consistency < 0.6
+
+
+def test_feedback_reduces_receive_latency():
+    no_fb = TwoQueueSession(
+        hot_share=0.65, data_kbps=45.0, loss_rate=0.4, **BASE
+    ).run(**RUN)
+    fb = FeedbackSession(
+        hot_share=0.75,
+        data_kbps=36.0,
+        feedback_kbps=9.0,
+        loss_rate=0.4,
+        **BASE,
+    ).run(**RUN)
+    assert fb.mean_receive_latency < no_fb.mean_receive_latency
+
+
+def test_nacks_are_filtered_to_needed_data():
+    """Without filtering, NACK count would be ~ every lost packet."""
+    session = FeedbackSession(
+        hot_share=0.6,
+        data_kbps=40.0,
+        feedback_kbps=5.0,
+        loss_rate=0.3,
+        **BASE,
+    )
+    result = session.run(**RUN)
+    # Lost packets ~ 0.3 * data_packets; useful losses are far fewer.
+    assert result.nacks_sent < 0.3 * result.data_packets
+
+
+def test_no_feedback_channel_when_zero_bandwidth():
+    session = FeedbackSession(
+        hot_share=0.5, data_kbps=45.0, feedback_kbps=0.0,
+        loss_rate=0.3, **BASE,
+    )
+    result = session.run(**RUN)
+    assert result.nacks_sent == 0
+    assert result.feedback_packets == 0
+
+
+def test_sessions_are_deterministic_under_seed():
+    def run():
+        return FeedbackSession(
+            hot_share=0.6,
+            data_kbps=40.0,
+            feedback_kbps=5.0,
+            loss_rate=0.3,
+            update_rate=10.0,
+            lifetime_mean=15.0,
+            seed=42,
+        ).run(horizon=120.0, warmup=20.0)
+
+    assert run().consistency == run().consistency
+
+
+def test_bursty_loss_model_can_be_injected():
+    session = TwoQueueSession(
+        hot_share=0.5,
+        data_kbps=45.0,
+        loss_model=GilbertElliottLoss.with_mean(0.2, burst_length=5.0),
+        **BASE,
+    )
+    result = session.run(**RUN)
+    assert 0.3 < result.consistency <= 1.0
+    assert result.observed_loss_rate == pytest.approx(0.2, abs=0.06)
+
+
+def test_consistency_series_is_recorded_when_requested():
+    session = TwoQueueSession(
+        hot_share=0.5,
+        data_kbps=45.0,
+        loss_rate=0.2,
+        record_series=True,
+        **BASE,
+    )
+    result = session.run(**RUN)
+    assert result.consistency_series
+    assert result.consistency_series[-1][1] == pytest.approx(
+        result.consistency, abs=1e-3
+    )
+
+
+def test_custom_workload_with_updates():
+    workload = PoissonUpdateWorkload(
+        arrival_rate=10.0, lifetime_mean=30.0, update_fraction=0.3
+    )
+    session = TwoQueueSession(
+        hot_share=0.5, data_kbps=45.0, loss_rate=0.1,
+        workload=workload, seed=3,
+    )
+    result = session.run(horizon=200.0, warmup=40.0)
+    assert result.consistency > 0.7
+
+
+def test_receiver_hold_multiple_expires_unrefreshed_state():
+    """Soft receiver timers: short hold times hurt consistency."""
+    tight = TwoQueueSession(
+        hot_share=0.5,
+        data_kbps=45.0,
+        loss_rate=0.2,
+        hold_multiple=1.0,
+        **{**BASE, "lifetime_mean": 40.0},
+    )
+    tight.receiver.announce_interval_hint = 0.5
+    tight_result = tight.run(**RUN)
+    loose = TwoQueueSession(
+        hot_share=0.5,
+        data_kbps=45.0,
+        loss_rate=0.2,
+        **{**BASE, "lifetime_mean": 40.0},
+    ).run(**RUN)
+    assert tight_result.consistency < loose.consistency
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        TwoQueueSession(hot_share=0.0, data_kbps=45.0, update_rate=1.0)
+    with pytest.raises(ValueError):
+        TwoQueueSession(hot_share=1.0, data_kbps=45.0, update_rate=1.0)
+    with pytest.raises(ValueError):
+        OpenLoopSession(data_kbps=0.0, update_rate=1.0)
+    with pytest.raises(ValueError):
+        OpenLoopSession(data_kbps=45.0)  # no workload, no rate
+    with pytest.raises(ValueError):
+        FeedbackSession(
+            data_kbps=45.0, update_rate=1.0, feedback_kbps=-1.0
+        )
+    with pytest.raises(ValueError):
+        FeedbackSession(
+            data_kbps=45.0, update_rate=1.0, feedback_kbps=5.0,
+            seqs_per_nack=0,
+        )
+    session = OpenLoopSession(data_kbps=45.0, update_rate=1.0)
+    with pytest.raises(ValueError):
+        session.run(horizon=10.0, warmup=20.0)
+
+
+# -- ARQ baseline --------------------------------------------------------------
+
+
+def test_arq_delivers_reliably_at_moderate_loss():
+    result = ArqSession(
+        data_kbps=45.0, ack_kbps=10.0, rto=0.5, loss_rate=0.2, **BASE
+    ).run(**RUN)
+    assert result.consistency > 0.8
+    assert result.retransmissions > 0
+
+
+def test_arq_uses_far_less_data_bandwidth_than_open_loop():
+    arq = ArqSession(
+        data_kbps=45.0, ack_kbps=10.0, rto=0.5, loss_rate=0.1, **BASE
+    ).run(**RUN)
+    open_loop = OpenLoopSession(data_kbps=45.0, loss_rate=0.1, **BASE).run(
+        **RUN
+    )
+    assert arq.data_packets < 0.5 * open_loop.data_packets
+
+
+def test_arq_receiver_crash_is_not_self_healing():
+    """The robustness contrast the paper draws: after a receiver crash,
+    ARQ state stays lost (no refreshes), while announce/listen recovers."""
+    arq = ArqSession(
+        data_kbps=45.0,
+        ack_kbps=10.0,
+        rto=0.5,
+        loss_rate=0.05,
+        update_rate=2.0,
+        lifetime_mean=1000.0,
+        seed=11,
+    )
+
+    def crash(env):
+        yield env.timeout(100.0)
+        arq.crash_receiver()
+
+    arq.env.process(crash(arq.env))
+    arq_result = arq.run(horizon=200.0, warmup=10.0)
+
+    soft = OpenLoopSession(
+        data_kbps=45.0,
+        loss_rate=0.05,
+        update_rate=2.0,
+        lifetime_mean=1000.0,
+        seed=11,
+    )
+
+    def soft_crash(env):
+        yield env.timeout(100.0)
+        soft.receiver.table.clear()
+        soft._observe(env.now)
+
+    soft.env.process(soft_crash(soft.env))
+    soft_result = soft.run(horizon=200.0, warmup=10.0)
+    assert soft_result.consistency > arq_result.consistency + 0.2
+
+
+def test_arq_validation():
+    with pytest.raises(ValueError):
+        ArqSession(data_kbps=45.0, update_rate=1.0, ack_kbps=0.0)
+    with pytest.raises(ValueError):
+        ArqSession(data_kbps=45.0, update_rate=1.0, rto=0.0)

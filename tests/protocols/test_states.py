@@ -1,0 +1,88 @@
+"""Unit tests for the Figure 7 record state machine."""
+
+import pytest
+
+from repro.protocols import RecordState, RecordStateMachine
+from repro.protocols.states import IllegalTransition, ascii_diagram
+
+
+def test_record_starts_hot():
+    machine = RecordStateMachine()
+    assert machine.state is RecordState.HOT
+    assert not machine.is_dead
+
+
+def test_first_transmission_moves_hot_to_cold():
+    machine = RecordStateMachine()
+    machine.on_transmitted()
+    assert machine.state is RecordState.COLD
+    assert machine.transmissions == 1
+
+
+def test_retransmission_stays_cold():
+    machine = RecordStateMachine()
+    machine.on_transmitted()
+    machine.on_transmitted()
+    assert machine.state is RecordState.COLD
+    assert machine.transmissions == 2
+
+
+def test_nack_moves_cold_back_to_hot():
+    machine = RecordStateMachine()
+    machine.on_transmitted()
+    machine.on_nack()
+    assert machine.state is RecordState.HOT
+    assert machine.nacks == 1
+
+
+def test_nack_on_hot_record_is_noop():
+    machine = RecordStateMachine()
+    machine.on_nack()
+    assert machine.state is RecordState.HOT
+    assert machine.nacks == 0
+
+
+def test_death_from_either_live_state():
+    hot = RecordStateMachine()
+    hot.on_death()
+    assert hot.is_dead
+    cold = RecordStateMachine()
+    cold.on_transmitted()
+    cold.on_death()
+    assert cold.is_dead
+
+
+def test_double_death_is_idempotent():
+    machine = RecordStateMachine()
+    machine.on_death()
+    machine.on_death()
+    assert machine.is_dead
+
+
+def test_dead_records_cannot_be_transmitted():
+    machine = RecordStateMachine()
+    machine.on_death()
+    with pytest.raises(IllegalTransition):
+        machine.on_transmitted()
+
+
+def test_resurrection_is_illegal():
+    machine = RecordStateMachine()
+    machine.on_death()
+    with pytest.raises(IllegalTransition):
+        machine.transition(RecordState.HOT)
+
+
+def test_history_records_labels():
+    machine = RecordStateMachine()
+    machine.on_transmitted()
+    machine.on_nack()
+    machine.on_death()
+    labels = [label for _, _, label in machine.history]
+    assert labels == ["transmit", "nack", "death"]
+
+
+def test_ascii_diagram_mentions_all_states():
+    diagram = ascii_diagram()
+    for letter in ["H", "C", "D"]:
+        assert letter in diagram

@@ -1,0 +1,152 @@
+"""Unit tests for the hierarchical (CBQ-style) link-sharing scheduler."""
+
+import pytest
+
+from repro.sched import HierarchicalScheduler, SchedulerError
+
+
+def build_figure12_tree():
+    """The paper's Figure 12 hierarchy: session -> {data -> {hot, cold}, feedback}."""
+    scheduler = HierarchicalScheduler()
+    scheduler.add_class("data", weight=8.0)
+    scheduler.add_class("feedback", weight=2.0)
+    scheduler.add_class("data/hot", weight=3.0)
+    scheduler.add_class("data/cold", weight=1.0)
+    return scheduler
+
+
+def fill(scheduler, counts):
+    for path, count in counts.items():
+        for i in range(count):
+            scheduler.enqueue(path, f"{path}-{i}")
+
+
+def drain(scheduler, n):
+    sequence = []
+    for _ in range(n):
+        result = scheduler.dequeue()
+        if result is None:
+            break
+        sequence.append(result[0])
+    return sequence
+
+
+def test_missing_parent_rejected():
+    scheduler = HierarchicalScheduler()
+    with pytest.raises(SchedulerError):
+        scheduler.add_class("data/hot")
+
+
+def test_duplicate_class_rejected():
+    scheduler = HierarchicalScheduler()
+    scheduler.add_class("data")
+    with pytest.raises(SchedulerError):
+        scheduler.add_class("data")
+
+
+def test_enqueue_at_interior_node_rejected():
+    scheduler = build_figure12_tree()
+    with pytest.raises(SchedulerError):
+        scheduler.enqueue("data", "item")
+
+
+def test_invalid_path_rejected():
+    scheduler = HierarchicalScheduler()
+    with pytest.raises(SchedulerError):
+        scheduler.add_class("")
+    with pytest.raises(SchedulerError):
+        scheduler.enqueue("nope", "x")
+
+
+def test_adding_child_under_non_empty_leaf_rejected():
+    scheduler = HierarchicalScheduler()
+    scheduler.add_class("data")
+    scheduler.enqueue("data", "item")
+    with pytest.raises(SchedulerError):
+        scheduler.add_class("data/hot")
+
+
+def test_empty_tree_dequeues_none():
+    scheduler = build_figure12_tree()
+    assert scheduler.dequeue() is None
+
+
+def test_fifo_within_leaf():
+    scheduler = build_figure12_tree()
+    for i in range(3):
+        scheduler.enqueue("data/hot", i)
+    items = [scheduler.dequeue()[1] for _ in range(3)]
+    assert items == [0, 1, 2]
+
+
+def test_dequeue_reports_full_path():
+    scheduler = build_figure12_tree()
+    scheduler.enqueue("data/cold", "x")
+    assert scheduler.dequeue() == ("data/cold", "x")
+
+
+def test_top_level_share_data_vs_feedback():
+    scheduler = build_figure12_tree()
+    fill(scheduler, {"data/hot": 2000, "feedback": 2000})
+    sequence = drain(scheduler, n=1000)
+    data = sum(1 for p in sequence if p.startswith("data"))
+    assert data / len(sequence) == pytest.approx(0.8, abs=0.05)
+
+
+def test_second_level_share_hot_vs_cold():
+    scheduler = build_figure12_tree()
+    fill(scheduler, {"data/hot": 3000, "data/cold": 3000})
+    sequence = drain(scheduler, n=1000)
+    hot = sum(1 for p in sequence if p == "data/hot")
+    assert hot / len(sequence) == pytest.approx(0.75, abs=0.05)
+
+
+def test_idle_sibling_share_is_redistributed():
+    """With feedback idle, data gets the whole link (work conserving)."""
+    scheduler = build_figure12_tree()
+    fill(scheduler, {"data/hot": 100, "data/cold": 100})
+    sequence = drain(scheduler, n=200)
+    assert all(p.startswith("data/") for p in sequence)
+
+
+def test_no_credit_hoarding_in_tree():
+    scheduler = build_figure12_tree()
+    fill(scheduler, {"data/hot": 500})
+    drain(scheduler, n=400)
+    # feedback was idle; when it wakes it must not monopolize.
+    fill(scheduler, {"feedback": 500, "data/hot": 400})
+    sequence = drain(scheduler, n=100)
+    feedback = sequence.count("feedback")
+    assert feedback / len(sequence) == pytest.approx(0.2, abs=0.1)
+
+
+def test_backlog_aggregates_subtree():
+    scheduler = build_figure12_tree()
+    fill(scheduler, {"data/hot": 2, "data/cold": 3})
+    assert scheduler.backlog("data") == 5
+    assert scheduler.backlog("data/hot") == 2
+    assert len(scheduler) == 5
+
+
+def test_set_weight_retunes_shares():
+    scheduler = build_figure12_tree()
+    scheduler.set_weight("data/hot", 1.0)  # now 1:1 hot:cold
+    fill(scheduler, {"data/hot": 2000, "data/cold": 2000})
+    sequence = drain(scheduler, n=1000)
+    hot = sum(1 for p in sequence if p == "data/hot")
+    assert hot / len(sequence) == pytest.approx(0.5, abs=0.05)
+
+
+def test_share_of_among_siblings():
+    scheduler = build_figure12_tree()
+    fill(scheduler, {"data/hot": 400, "data/cold": 400})
+    drain(scheduler, n=400)
+    assert scheduler.share_of("data/hot") == pytest.approx(0.75, abs=0.05)
+
+
+def test_describe_renders_tree():
+    scheduler = build_figure12_tree()
+    text = scheduler.describe()
+    assert "data" in text
+    assert "hot" in text
+    assert "weight=3" in text

@@ -1,0 +1,100 @@
+"""Unit tests for the profile-driven bandwidth allocator (Figure 12)."""
+
+import pytest
+
+from repro.core import ConsistencyProfile, ProfilePoint
+from repro.sstp import ProfileDrivenAllocator, StaticCongestionManager
+from repro.sstp.allocator import default_feedback_profile
+
+
+def make_allocator(**kwargs):
+    return ProfileDrivenAllocator(StaticCongestionManager(50.0), **kwargs)
+
+
+def test_allocation_sums_to_total():
+    allocation = make_allocator().allocate(0.0, loss_rate=0.2, update_kbps=10.0)
+    assert allocation.total_kbps == 50.0
+    assert allocation.data_kbps + allocation.feedback_kbps == pytest.approx(50.0)
+    assert allocation.hot_kbps + allocation.cold_kbps == pytest.approx(
+        allocation.data_kbps
+    )
+
+
+def test_higher_loss_gets_more_feedback():
+    allocator = make_allocator()
+    low = allocator.allocate(0.0, loss_rate=0.01, update_kbps=10.0)
+    high = allocator.allocate(0.0, loss_rate=0.45, update_kbps=10.0)
+    assert high.feedback_kbps >= low.feedback_kbps
+
+
+def test_hot_share_covers_arrivals_plus_repairs():
+    allocation = make_allocator().allocate(0.0, loss_rate=0.3, update_kbps=15.0)
+    needed = 15.0 * 1.15 / 0.7
+    assert allocation.hot_kbps >= min(
+        needed, allocation.data_kbps * 0.95
+    ) - 1e-9
+
+
+def test_hot_share_clamped_to_bounds():
+    allocation = make_allocator().allocate(0.0, loss_rate=0.0, update_kbps=0.0)
+    assert allocation.hot_share == pytest.approx(0.1)
+    allocation = make_allocator().allocate(0.0, loss_rate=0.5, update_kbps=100.0)
+    assert allocation.hot_share == pytest.approx(0.95)
+
+
+def test_consistency_target_picks_smallest_sufficient_share():
+    profile = ConsistencyProfile("p", knob_name="fb")
+    profile.add_many(
+        [
+            ProfilePoint(0.2, 0.0, 0.80),
+            ProfilePoint(0.2, 0.1, 0.90),
+            ProfilePoint(0.2, 0.3, 0.95),
+        ]
+    )
+    allocator = make_allocator(
+        feedback_profile=profile, consistency_target=0.88
+    )
+    allocation = allocator.allocate(0.0, loss_rate=0.2, update_kbps=5.0)
+    assert allocation.feedback_share == pytest.approx(0.1)
+
+
+def test_unattainable_target_falls_back_to_best():
+    profile = ConsistencyProfile("p", knob_name="fb")
+    profile.add_many(
+        [ProfilePoint(0.2, 0.0, 0.70), ProfilePoint(0.2, 0.2, 0.85)]
+    )
+    allocator = make_allocator(
+        feedback_profile=profile, consistency_target=0.99
+    )
+    allocation = allocator.allocate(0.0, loss_rate=0.2, update_kbps=5.0)
+    assert allocation.feedback_share == pytest.approx(0.2)
+    assert allocation.predicted_consistency == pytest.approx(0.85)
+
+
+def test_max_update_rate_notification_threshold():
+    allocation = make_allocator().allocate(0.0, loss_rate=0.2, update_kbps=5.0)
+    assert 0.0 < allocation.max_update_kbps < 50.0
+    # More loss means less admissible application load.
+    lossier = make_allocator().allocate(0.0, loss_rate=0.6, update_kbps=5.0)
+    assert lossier.max_update_kbps < allocation.max_update_kbps
+
+
+def test_default_profile_has_figure9_shape():
+    profile = default_feedback_profile()
+    # Moderate feedback beats none, and extreme feedback collapses.
+    assert profile.predict(0.3, 0.10) > profile.predict(0.3, 0.0)
+    assert profile.predict(0.3, 0.70) < profile.predict(0.3, 0.10)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_allocator(consistency_target=0.0)
+    with pytest.raises(ValueError):
+        make_allocator(hot_headroom=0.5)
+    with pytest.raises(ValueError):
+        make_allocator(min_hot_share=0.8, max_hot_share=0.5)
+    allocator = make_allocator()
+    with pytest.raises(ValueError):
+        allocator.allocate(0.0, loss_rate=1.0, update_kbps=5.0)
+    with pytest.raises(ValueError):
+        allocator.allocate(0.0, loss_rate=0.2, update_kbps=-1.0)

@@ -1,0 +1,63 @@
+"""Property-based end-to-end SSTP convergence.
+
+For *any* sequence of publishes and removals, once mutations stop and
+enough quiet time passes, every receiver's mirror must equal the
+sender's namespace exactly (root digests match) — under loss, because
+the recursive-descent repair machinery keeps restarting from the
+periodic summaries.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sstp import ReliabilityLevel, SstpSession
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["publish", "remove"]),
+        st.sampled_from(["a/x", "a/y", "b/z", "b/w", "c"]),
+        st.integers(min_value=0, max_value=100),
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(operations, st.sampled_from([0.0, 0.25]))
+def test_any_mutation_sequence_converges(ops, loss):
+    session = SstpSession(
+        total_kbps=80.0,
+        n_receivers=1,
+        loss_rate=loss,
+        reliability=ReliabilityLevel.RELIABLE,
+        seed=5,
+        adapt_interval=None,
+    )
+    published = set()
+
+    def mutate(env):
+        for kind, path, value in ops:
+            yield env.timeout(1.0)
+            if kind == "publish":
+                try:
+                    session.publish(path, value)
+                except Exception:
+                    continue  # leaf/interior conflicts are app errors
+                published.add(path)
+            elif path in published:
+                session.remove(path)
+                published.discard(path)
+
+    session.env.process(mutate(session.env))
+    session.run(horizon=len(ops) + 120.0)
+    sender_ns = session.sender.namespace
+    mirror = session.receivers[0].mirror
+    assert mirror.root_digest() == sender_ns.root_digest()
+    assert {leaf.path for leaf in mirror.leaves()} == {
+        leaf.path for leaf in sender_ns.leaves()
+    }

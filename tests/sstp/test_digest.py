@@ -1,0 +1,55 @@
+"""Unit tests for namespace digests."""
+
+import pytest
+
+from repro.sstp import digest_bytes, digest_children, digest_leaf
+from repro.sstp.digest import DIGEST_SIZE
+
+
+def test_digest_is_fixed_length():
+    assert len(digest_bytes(b"hello")) == DIGEST_SIZE
+    assert len(digest_leaf("a/b", 1, 100)) == DIGEST_SIZE
+    assert len(digest_children([b"x" * DIGEST_SIZE])) == DIGEST_SIZE
+
+
+def test_digest_is_deterministic():
+    assert digest_leaf("a", 1, 10, "v") == digest_leaf("a", 1, 10, "v")
+
+
+def test_leaf_digest_depends_on_every_field():
+    base = digest_leaf("a", 1, 10, "v")
+    assert digest_leaf("b", 1, 10, "v") != base
+    assert digest_leaf("a", 2, 10, "v") != base
+    assert digest_leaf("a", 1, 11, "v") != base
+    assert digest_leaf("a", 1, 10, "w") != base
+
+
+def test_children_digest_depends_on_order_and_content():
+    a, b = digest_leaf("a", 1, 1), digest_leaf("b", 1, 1)
+    assert digest_children([a, b]) != digest_children([b, a])
+    assert digest_children([a]) != digest_children([a, b])
+
+
+def test_md5_algorithm_matches_paper_reference():
+    value = digest_leaf("a", 1, 10, "v", algorithm="md5")
+    assert len(value) == DIGEST_SIZE
+    assert value != digest_leaf("a", 1, 10, "v", algorithm="blake2b")
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ValueError):
+        digest_bytes(b"x", algorithm="crc32")
+
+
+def test_invalid_leaf_fields_rejected():
+    with pytest.raises(ValueError):
+        digest_leaf("a", -1, 0)
+    with pytest.raises(ValueError):
+        digest_leaf("a", 0, -1)
+
+
+def test_children_digest_requires_children_and_bytes():
+    with pytest.raises(ValueError):
+        digest_children([])
+    with pytest.raises(ValueError):
+        digest_children(["not-bytes"])  # type: ignore[list-item]

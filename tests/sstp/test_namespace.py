@@ -1,0 +1,234 @@
+"""Unit and property tests for the hierarchical namespace."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sstp import Namespace
+from repro.sstp.namespace import NamespaceError
+
+
+def test_publish_creates_interior_nodes():
+    ns = Namespace()
+    ns.publish("a/b/c", "value")
+    assert ns.find("a") is not None
+    assert ns.find("a/b") is not None
+    assert ns.find("a/b/c").value == "value"
+    assert len(ns) == 1
+
+
+def test_publish_bumps_version_and_right_edge():
+    ns = Namespace()
+    first = ns.publish("x", "v1", size_bytes=100)
+    assert (first.version, first.right_edge) == (1, 100)
+    second = ns.publish("x", "v2", size_bytes=50)
+    assert (second.version, second.right_edge) == (2, 150)
+
+
+def test_root_digest_changes_on_any_leaf_change():
+    ns = Namespace()
+    ns.publish("a/x", 1)
+    ns.publish("b/y", 2)
+    before = ns.root_digest()
+    ns.publish("b/y", 3)
+    assert ns.root_digest() != before
+
+
+def test_sibling_change_does_not_affect_other_branch_digest():
+    ns = Namespace()
+    ns.publish("a/x", 1)
+    ns.publish("b/y", 2)
+    branch_a = ns.find("a").digest()
+    ns.publish("b/y", 3)
+    assert ns.find("a").digest() == branch_a
+
+
+def test_new_leaf_under_cached_parent_invalidate_bug_regression():
+    """Adding a sibling after the parent digest was computed must
+    invalidate the parent (the cached-ancestor bug found in testing)."""
+    ns = Namespace()
+    ns.publish("a/x", 1)
+    before = ns.find("a").digest()
+    root_before = ns.root_digest()
+    ns.publish("a/y", 2)  # parent "a" had a cached digest
+    assert ns.find("a").digest() != before
+    assert ns.root_digest() != root_before
+
+
+def test_identical_content_gives_identical_digests():
+    def build():
+        ns = Namespace()
+        ns.publish("a/x", 1)
+        ns.publish("a/y", 2)
+        ns.publish("b/z", 3)
+        return ns
+
+    assert build().root_digest() == build().root_digest()
+
+
+def test_install_mirrors_exact_version():
+    sender = Namespace()
+    leaf = sender.publish("a/x", "v", size_bytes=100)
+    receiver = Namespace()
+    receiver.install("a/x", "v", version=leaf.version, right_edge=leaf.right_edge)
+    assert receiver.root_digest() == sender.root_digest()
+
+
+def test_install_ignores_stale_versions():
+    ns = Namespace()
+    ns.install("x", "new", version=5, right_edge=10)
+    ns.install("x", "old", version=3, right_edge=5)
+    assert ns.find("x").value == "new"
+    assert ns.find("x").version == 5
+
+
+def test_remove_prunes_empty_interior_nodes():
+    ns = Namespace()
+    ns.publish("a/b/c", 1)
+    ns.publish("a/d", 2)
+    ns.remove("a/b/c")
+    assert ns.find("a/b") is None
+    assert ns.find("a/d") is not None
+    assert len(ns) == 1
+
+
+def test_remove_changes_root_digest():
+    ns = Namespace()
+    ns.publish("a/x", 1)
+    ns.publish("a/y", 2)
+    before = ns.root_digest()
+    ns.remove("a/y")
+    assert ns.root_digest() != before
+
+
+def test_empty_namespace_has_stable_sentinel_digest():
+    assert Namespace().root_digest() == Namespace().root_digest()
+
+
+def test_child_summaries_lists_sorted_children():
+    ns = Namespace()
+    ns.publish("b/x", 1)
+    ns.publish("a/y", 2)
+    names = [path for path, _ in ns.child_summaries("")]
+    assert names == ["a", "b"]
+
+
+def test_metadata_does_not_change_digests():
+    ns = Namespace()
+    ns.publish("a/x", 1)
+    before = ns.root_digest()
+    ns.set_metadata("a", media="video")
+    assert ns.root_digest() == before
+    assert ns.find("a").metadata == {"media": "video"}
+
+
+def test_diff_paths_finds_exact_differences():
+    left = Namespace()
+    right = Namespace()
+    for ns in (left, right):
+        ns.publish("a/x", 1)
+        ns.publish("a/y", 2)
+    left.publish("a/y", 99)  # divergence
+    left.publish("b/z", 3)  # only on the left
+    diffs = left.diff_paths(right)
+    assert "a/y" in diffs
+    assert "b/z" in diffs
+    assert "a/x" not in diffs
+
+
+def test_structural_errors():
+    ns = Namespace()
+    ns.publish("leaf", 1)
+    with pytest.raises(NamespaceError):
+        ns.publish("leaf/child", 2)  # nesting under a published leaf
+    ns.publish("dir/x", 1)
+    with pytest.raises(NamespaceError):
+        ns.publish("dir", 2)  # publishing at an interior node
+    with pytest.raises(NamespaceError):
+        ns.remove("dir")  # removing an interior node
+    with pytest.raises(NamespaceError):
+        ns.remove("ghost")
+    with pytest.raises(NamespaceError):
+        ns.publish("", 1)
+    with pytest.raises(NamespaceError):
+        ns.publish("a/x", 1, size_bytes=-1)
+    with pytest.raises(NamespaceError):
+        ns.set_metadata("ghost", x=1)
+    with pytest.raises(NamespaceError):
+        ns.child_summaries("ghost")
+
+
+def test_leaves_iterates_in_sorted_order():
+    ns = Namespace()
+    for path in ["b/y", "a/x", "a/z", "c"]:
+        ns.publish(path, 0)
+    assert [leaf.path for leaf in ns.leaves()] == ["a/x", "a/z", "b/y", "c"]
+
+
+# -- property-based tests -----------------------------------------------------
+
+paths = st.lists(
+    st.text(alphabet="abcd", min_size=1, max_size=3), min_size=1, max_size=3
+).map("/".join)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.dictionaries(paths, st.integers(), min_size=1, max_size=12))
+def test_digest_equality_iff_same_content(contents):
+    """Two namespaces built from the same publishes have equal root
+    digests; mirrors built via install() also agree."""
+    first = Namespace()
+    mirror = Namespace()
+    for path, value in sorted(contents.items()):
+        try:
+            leaf = first.publish(path, value)
+        except NamespaceError:
+            continue  # path conflicts (leaf vs interior) are skipped
+        mirror.install(
+            path, value, version=leaf.version, right_edge=leaf.right_edge
+        )
+    assert first.root_digest() == mirror.root_digest()
+    assert first.diff_paths(mirror) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.dictionaries(paths, st.integers(), min_size=2, max_size=12),
+    st.data(),
+)
+def test_single_divergence_is_detected_by_diff(contents, data):
+    base = Namespace()
+    other = Namespace()
+    published = []
+    for path, value in sorted(contents.items()):
+        try:
+            leaf = base.publish(path, value)
+        except NamespaceError:
+            continue
+        other.install(
+            path, value, version=leaf.version, right_edge=leaf.right_edge
+        )
+        published.append(path)
+    if not published:
+        return
+    victim = data.draw(st.sampled_from(published))
+    base.publish(victim, "changed")
+    assert base.root_digest() != other.root_digest()
+    diffs = base.diff_paths(other)
+    assert diffs == [victim]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from(["a/x", "a/y", "b/z", "c"]), max_size=20))
+def test_publish_remove_sequences_keep_leaf_count_consistent(operations):
+    ns = Namespace()
+    alive = set()
+    for path in operations:
+        if path in alive:
+            ns.remove(path)
+            alive.discard(path)
+        else:
+            ns.publish(path, 0)
+            alive.add(path)
+    assert len(ns) == len(alive)
+    assert {leaf.path for leaf in ns.leaves()} == alive

@@ -1,0 +1,272 @@
+"""Unit tests for SSTP sender/receiver internals (no full sessions)."""
+
+import pytest
+
+from repro.des import Environment
+from repro.net import MulticastChannel, Packet
+from repro.sstp.protocol import COLD, HOT, SstpReceiver, SstpSender
+
+
+def make_sender(env=None, **kwargs):
+    env = env or Environment()
+    channel = MulticastChannel(env, rate_kbps=100.0)
+    return env, channel, SstpSender(env, channel, **kwargs)
+
+
+def test_publish_enqueues_hot_once():
+    env, _, sender = make_sender()
+    sender.publish("a/x", 1)
+    sender.publish("a/x", 2)  # update while still queued
+    assert sender.scheduler.backlog(HOT) == 1
+
+
+def test_build_adu_accounts_new_then_repair():
+    env, _, sender = make_sender()
+    sender.publish("a/x", 1)
+    first = sender._build("adu", "a/x")
+    second = sender._build("adu", "a/x")
+    assert first.kind == "adu"
+    assert sender.ledger.bits("new") == first.size_bits
+    assert sender.ledger.bits("repair") == second.size_bits
+
+
+def test_build_adu_for_removed_path_returns_none():
+    env, _, sender = make_sender()
+    sender.publish("a/x", 1)
+    sender.remove("a/x")
+    assert sender._build("adu", "a/x") is None
+
+
+def test_build_digests_lists_children_and_leaf_flags():
+    env, _, sender = make_sender()
+    sender.publish("a/x", 1)
+    sender.publish("a/b/y", 2)
+    packet = sender._build("digests", "a")
+    children = dict(
+        (path, digest) for path, digest, _ in packet.payload["children"]
+    )
+    assert set(children) == {"a/b", "a/x"}
+    assert packet.payload["leaf"] == {"a/b": False, "a/x": True}
+
+
+def test_build_digests_for_unknown_node_returns_none():
+    env, _, sender = make_sender()
+    assert sender._build("digests", "ghost") is None
+
+
+def test_build_digests_for_empty_root_lists_nothing():
+    """An empty answer is how receivers learn to prune everything
+    (regression: found by the hypothesis convergence property)."""
+    env, _, sender = make_sender()
+    sender.publish("a/x", 1)
+    sender.remove("a/x")
+    packet = sender._build("digests", "")
+    assert packet is not None
+    assert packet.payload["children"] == []
+
+
+def test_summary_packet_carries_root_digest():
+    env, _, sender = make_sender()
+    sender.publish("a/x", 1)
+    packet = sender._build("summary", "")
+    assert packet.payload["digest"] == sender.namespace.root_digest()
+    assert sender.ledger.bits("summary") > 0
+
+
+def test_feedback_query_routes_to_hot_queue():
+    env, _, sender = make_sender()
+    sender.publish("a/x", 1)
+    # Drain the publish enqueue (and its dedup marker).
+    while sender.scheduler.dequeue() is not None:
+        pass
+    sender._hot_queued.clear()
+    sender.handle_feedback(
+        Packet(kind="query", payload={"receiver": "r", "path": "a", "descend": True})
+    )
+    sender.handle_feedback(
+        Packet(kind="query", payload={"receiver": "r", "path": "a/x", "descend": False})
+    )
+    assert sender.scheduler.backlog(HOT) == 2
+    assert sender.repair_requests == 1
+    assert sender.queries_received == 2
+
+
+def test_duplicate_descend_queries_are_deduped():
+    env, _, sender = make_sender()
+    sender.publish("a/x", 1)
+    while sender.scheduler.dequeue() is not None:
+        pass
+    query = Packet(
+        kind="query", payload={"receiver": "r", "path": "", "descend": True}
+    )
+    sender.handle_feedback(query)
+    sender.handle_feedback(query)
+    assert sender.scheduler.backlog(HOT) == 1
+
+
+def test_set_hot_share_validates():
+    env, _, sender = make_sender()
+    with pytest.raises(ValueError):
+        sender.set_hot_share(0.0)
+    sender.set_hot_share(0.25)
+    assert sender.scheduler.weight(HOT) == pytest.approx(0.25)
+
+
+def test_sender_validation():
+    env = Environment()
+    channel = MulticastChannel(env, rate_kbps=10.0)
+    with pytest.raises(ValueError):
+        SstpSender(env, channel, hot_share=1.5)
+    with pytest.raises(ValueError):
+        SstpSender(env, channel, adu_size_bits=0)
+    with pytest.raises(ValueError):
+        SstpSender(env, channel, cold_content="digests-and-data")
+
+
+# -- receiver internals ---------------------------------------------------------
+
+
+def adu_packet(path, value, version=1, seq=0, metadata=None):
+    return Packet(
+        kind="adu",
+        seq=seq,
+        payload={
+            "path": path,
+            "value": value,
+            "version": version,
+            "right_edge": 100,
+            "metadata": metadata or {},
+            "repairs": (),
+        },
+    )
+
+
+def test_receiver_installs_and_ignores_stale():
+    env = Environment()
+    receiver = SstpReceiver("r", env, feedback=None)
+    receiver.deliver(adu_packet("a/x", "new", version=5, seq=0))
+    receiver.deliver(adu_packet("a/x", "old", version=2, seq=1))
+    assert receiver.mirror.find("a/x").value == "new"
+    assert receiver.adus_received == 2
+
+
+def test_receiver_interest_filter_skips_install():
+    env = Environment()
+    receiver = SstpReceiver(
+        "r",
+        env,
+        feedback=None,
+        interest=lambda path, meta: meta.get("media") != "video",
+    )
+    receiver.deliver(
+        adu_packet("v/clip", b"...", seq=0, metadata={"media": "video"})
+    )
+    receiver.deliver(adu_packet("t/note", "hi", seq=1))
+    assert receiver.mirror.find("v/clip") is None
+    assert receiver.mirror.find("t/note") is not None
+
+
+def test_receiver_digests_prunes_unlisted_children():
+    env = Environment()
+    receiver = SstpReceiver("r", env, feedback=None)
+    receiver.deliver(adu_packet("dir/old", 1, seq=0))
+    receiver.deliver(adu_packet("dir/keep", 2, seq=1))
+    removed = []
+    receiver.on_remove = removed.append
+    # The sender's digest listing for "dir" no longer includes "old".
+    keep_digest = receiver.mirror.find("dir/keep").digest()
+    receiver.deliver(
+        Packet(
+            kind="digests",
+            seq=2,
+            payload={
+                "path": "dir",
+                "children": [("dir/keep", keep_digest, {})],
+                "leaf": {"dir/keep": True},
+            },
+        )
+    )
+    assert receiver.mirror.find("dir/old") is None
+    assert removed == ["dir/old"]
+
+
+def test_receiver_queries_on_digest_mismatch():
+    env = Environment()
+
+    class FakeFeedback:
+        def __init__(self):
+            self.sent = []
+
+        def send(self, packet):
+            self.sent.append(packet)
+
+    feedback = FakeFeedback()
+    receiver = SstpReceiver("r", env, feedback=feedback)
+    receiver.deliver(
+        Packet(
+            kind="digests",
+            seq=0,
+            payload={
+                "path": "",
+                "children": [("a", b"mismatching-digest!", {})],
+                "leaf": {"a": True},
+            },
+        )
+    )
+    assert len(feedback.sent) == 1
+    assert feedback.sent[0].payload == {
+        "receiver": "r",
+        "path": "a",
+        "descend": False,
+    }
+    assert receiver.repairs_requested == 1
+
+
+def test_receiver_summary_match_is_quiet():
+    env = Environment()
+
+    class FakeFeedback:
+        sent: list = []
+
+        def send(self, packet):
+            self.sent.append(packet)
+
+    receiver = SstpReceiver("r", env, feedback=FakeFeedback())
+    receiver.deliver(
+        Packet(
+            kind="summary",
+            seq=0,
+            payload={"digest": receiver.mirror.root_digest()},
+        )
+    )
+    assert receiver.queries_sent == 0
+
+
+def test_receiver_detects_loss_via_digests_not_gaps():
+    """SSTP loss detection is digest-driven: a receiver that silently
+    missed an ADU discovers it only when a summary disagrees — there is
+    no sequence-gap NACK path (that belongs to the Section 5 protocol)."""
+    env = Environment()
+
+    class FakeFeedback:
+        def __init__(self):
+            self.sent = []
+
+        def send(self, packet):
+            self.sent.append(packet)
+
+    feedback = FakeFeedback()
+    receiver = SstpReceiver("r", env, feedback=feedback)
+    # A gap in seq numbers alone triggers nothing.
+    receiver.deliver(adu_packet("a/x", 1, seq=0))
+    receiver.deliver(adu_packet("a/y", 2, seq=5))
+    assert feedback.sent == []
+    # A mismatching root summary triggers the descent.
+    receiver.deliver(
+        Packet(
+            kind="summary", seq=6, payload={"digest": b"not-my-root"}
+        )
+    )
+    assert len(feedback.sent) == 1
+    assert feedback.sent[0].payload["descend"] is True
+    assert feedback.sent[0].payload["path"] == ""

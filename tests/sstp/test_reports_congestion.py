@@ -1,0 +1,130 @@
+"""Unit tests for receiver reports, loss estimation, and the CM interface."""
+
+import pytest
+
+from repro.sstp import (
+    AimdCongestionManager,
+    LossEstimator,
+    StaticCongestionManager,
+    SteppedCongestionManager,
+)
+from repro.sstp.receiver_report import ReceiverReport, ReportBuilder
+
+
+def test_report_loss_fraction():
+    report = ReceiverReport("r", 0.0, highest_seq=99, expected=100, received=80)
+    assert report.loss_fraction == pytest.approx(0.2)
+
+
+def test_report_zero_expected_is_lossless():
+    report = ReceiverReport("r", 0.0, highest_seq=0, expected=0, received=0)
+    assert report.loss_fraction == 0.0
+
+
+def test_builder_counts_interval_losses():
+    builder = ReportBuilder("r")
+    for seq in [0, 1, 3, 4]:  # seq 2 lost
+        builder.on_packet(seq)
+    report = builder.build(now=10.0)
+    assert report.expected == 5
+    assert report.received == 4
+    assert report.loss_fraction == pytest.approx(0.2)
+
+
+def test_builder_intervals_are_disjoint():
+    builder = ReportBuilder("r")
+    for seq in [0, 1]:
+        builder.on_packet(seq)
+    builder.build(now=1.0)
+    for seq in [2, 3, 5]:  # seq 4 lost in second interval
+        builder.on_packet(seq)
+    second = builder.build(now=2.0)
+    assert second.expected == 4
+    assert second.received == 3
+
+
+def test_builder_with_no_packets_returns_none():
+    assert ReportBuilder("r").build(now=1.0) is None
+
+
+def test_builder_rejects_negative_seq():
+    with pytest.raises(ValueError):
+        ReportBuilder("r").on_packet(-1)
+
+
+def test_loss_estimator_ewma_converges():
+    estimator = LossEstimator(alpha=0.5)
+    report = ReceiverReport("r", 0.0, 9, expected=10, received=6)
+    for _ in range(20):
+        estimator.update(report)
+    assert estimator.estimate == pytest.approx(0.4, abs=1e-3)
+    assert estimator.reports_seen == 20
+
+
+def test_loss_estimator_validation():
+    with pytest.raises(ValueError):
+        LossEstimator(alpha=0.0)
+    with pytest.raises(ValueError):
+        LossEstimator(alpha=0.5, initial=2.0)
+
+
+def test_static_cm_constant_rate():
+    cm = StaticCongestionManager(64.0)
+    assert cm.available_kbps(0.0) == 64.0
+    assert cm.available_kbps(1e6) == 64.0
+    with pytest.raises(ValueError):
+        StaticCongestionManager(0.0)
+
+
+def test_stepped_cm_schedule():
+    cm = SteppedCongestionManager([(0.0, 100.0), (50.0, 25.0), (80.0, 60.0)])
+    assert cm.available_kbps(10.0) == 100.0
+    assert cm.available_kbps(50.0) == 25.0
+    assert cm.available_kbps(79.9) == 25.0
+    assert cm.available_kbps(200.0) == 60.0
+
+
+def test_stepped_cm_validation():
+    with pytest.raises(ValueError):
+        SteppedCongestionManager([])
+    with pytest.raises(ValueError):
+        SteppedCongestionManager([(10.0, 100.0)])  # no rate at t=0
+    with pytest.raises(ValueError):
+        SteppedCongestionManager([(0.0, -5.0)])
+
+
+def test_aimd_cm_probe_dynamics():
+    cm = AimdCongestionManager(initial_kbps=40.0, increase_kbps=2.0)
+    cm.on_loss_estimate(0.0)
+    assert cm.available_kbps(0.0) == 42.0
+    cm.on_loss_estimate(0.5)  # heavy loss: halve
+    assert cm.available_kbps(0.0) == 21.0
+
+
+def test_aimd_cm_respects_floor_and_ceiling():
+    cm = AimdCongestionManager(
+        initial_kbps=4.0, floor_kbps=2.0, ceiling_kbps=5.0, increase_kbps=10.0
+    )
+    cm.on_loss_estimate(0.0)
+    assert cm.available_kbps(0.0) == 5.0
+    for _ in range(10):
+        cm.on_loss_estimate(1.0)
+    assert cm.available_kbps(0.0) == 2.0
+
+
+def test_aimd_cm_notifies_rate_changes():
+    cm = AimdCongestionManager(initial_kbps=10.0)
+    rates = []
+    cm.on_rate_change(rates.append)
+    cm.on_loss_estimate(0.0)
+    cm.on_loss_estimate(0.9)
+    assert len(rates) == 2
+
+
+def test_aimd_cm_validation():
+    with pytest.raises(ValueError):
+        AimdCongestionManager(initial_kbps=0.0)
+    with pytest.raises(ValueError):
+        AimdCongestionManager(initial_kbps=10.0, decrease_factor=1.0)
+    with pytest.raises(ValueError):
+        AimdCongestionManager(initial_kbps=10.0, floor_kbps=20.0, ceiling_kbps=10.0)

@@ -1,0 +1,101 @@
+"""Tests for scalable timers (refresh-rate estimation)."""
+
+import pytest
+
+from repro.protocols import TwoQueueSession
+from repro.sstp import (
+    RefreshEstimator,
+    detection_latency,
+    false_expiry_probability,
+)
+
+
+def test_estimator_learns_regular_interval():
+    estimator = RefreshEstimator(alpha=0.5)
+    for i in range(10):
+        estimator.observe("k", now=2.0 * i)
+    assert estimator.interval("k") == pytest.approx(2.0)
+    assert estimator.hold_time("k") == pytest.approx(6.0)
+
+
+def test_estimator_tracks_changing_rate():
+    """Sender slows down (table grew): the estimate must follow."""
+    estimator = RefreshEstimator(alpha=0.5)
+    now = 0.0
+    for _ in range(10):
+        now += 1.0
+        estimator.observe("k", now)
+    for _ in range(20):
+        now += 5.0
+        estimator.observe("k", now)
+    assert estimator.interval("k") == pytest.approx(5.0, rel=0.05)
+
+
+def test_unknown_key_falls_back_to_global_then_initial():
+    estimator = RefreshEstimator(initial_interval=30.0)
+    assert estimator.interval("ghost") == 30.0
+    estimator.observe("a", 0.0)
+    estimator.observe("a", 4.0)
+    assert estimator.interval("ghost") == pytest.approx(4.0)
+
+
+def test_forget_drops_per_key_state():
+    estimator = RefreshEstimator()
+    estimator.observe("k", 0.0)
+    estimator.observe("k", 1.0)
+    assert len(estimator) == 1
+    estimator.forget("k")
+    assert len(estimator) == 0
+
+
+def test_duplicate_timestamp_ignored():
+    estimator = RefreshEstimator()
+    estimator.observe("k", 5.0)
+    estimator.observe("k", 5.0)
+    assert estimator.observations == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RefreshEstimator(alpha=0.0)
+    with pytest.raises(ValueError):
+        RefreshEstimator(multiple=0.5)
+    with pytest.raises(ValueError):
+        RefreshEstimator(initial_interval=0.0)
+    with pytest.raises(ValueError):
+        detection_latency(0.0, 3.0)
+    with pytest.raises(ValueError):
+        false_expiry_probability(1.5, 3)
+    with pytest.raises(ValueError):
+        false_expiry_probability(0.5, 0)
+
+
+def test_timer_tradeoff_formulas():
+    assert detection_latency(10.0, 3.0) == 30.0
+    assert false_expiry_probability(0.1, 3) == pytest.approx(1e-3)
+    # Raising the multiple: geometric safety, linear detection cost.
+    assert false_expiry_probability(0.1, 4) < false_expiry_probability(0.1, 3)
+
+
+def test_estimator_integrates_with_protocol_receiver():
+    """Adaptive hold keeps records alive under loss (vs tight static)."""
+
+    def run(**kwargs):
+        session = TwoQueueSession(
+            hot_share=0.4,
+            data_kbps=45.0,
+            loss_rate=0.25,
+            update_rate=5.0,
+            lifetime_mean=60.0,
+            seed=9,
+            **kwargs,
+        )
+        if "hold_multiple" in kwargs:
+            session.receiver.announce_interval_hint = 3.0
+        return session.run(horizon=200.0, warmup=40.0)
+
+    adaptive = run(refresh_estimator=RefreshEstimator(multiple=3.0))
+    tight_static = run(hold_multiple=1.0)
+    assert adaptive.consistency > tight_static.consistency
+    # And the estimator actually observed announcements.
+    assert adaptive.consistency > 0.7

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_analyze_prints_metrics(capsys):
+    assert main(
+        ["analyze", "--p-loss", "0.1", "--p-death", "0.2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "expected consistency" in out
+    assert "redundant bandwidth" in out
+
+
+def test_analyze_flags_unstable(capsys):
+    main(
+        [
+            "analyze",
+            "--p-loss",
+            "0.1",
+            "--p-death",
+            "0.05",
+            "--update-rate",
+            "20",
+            "--channel-rate",
+            "128",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "UNSTABLE" in out
+    assert "inf" in out
+
+
+@pytest.mark.parametrize(
+    "protocol", ["open-loop", "two-queue", "feedback", "arq"]
+)
+def test_simulate_each_protocol(protocol, capsys):
+    assert main(
+        [
+            "simulate",
+            protocol,
+            "--loss",
+            "0.2",
+            "--horizon",
+            "60",
+            "--update-rate",
+            "5",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "consistency" in out
+
+
+def test_simulate_multicast(capsys):
+    assert main(
+        [
+            "simulate",
+            "multicast",
+            "--receivers",
+            "3",
+            "--loss",
+            "0.1",
+            "--horizon",
+            "60",
+            "--update-rate",
+            "4",
+        ]
+    ) == 0
+    assert "consistency" in capsys.readouterr().out
+
+
+def test_simulate_sstp(capsys):
+    assert main(
+        [
+            "simulate",
+            "sstp",
+            "--loss",
+            "0.1",
+            "--horizon",
+            "60",
+            "--update-rate",
+            "3",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "ADU / summary" in out
+
+
+def test_experiment_subcommand_forwards(capsys):
+    assert main(["experiment", "figure4", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "figure4" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bogus"])
+
+
+def test_bad_protocol_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["simulate", "tcp"])

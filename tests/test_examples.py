@@ -1,0 +1,65 @@
+"""Smoke tests for the example scripts.
+
+Each example is importable (no side effects at import time) and its
+helper functions run at miniature scale.  The full scripts are exercised
+manually / in CI shell jobs; these tests catch API drift cheaply.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load(name):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "session_directory",
+        "stock_ticker",
+        "routing_updates",
+        "sstp_catalog_sync",
+        "traffic_analysis",
+    ],
+)
+def test_example_imports_cleanly(name):
+    module = load(name)
+    assert hasattr(module, "main")
+
+
+def test_quickstart_closed_form_step_runs(capsys):
+    module = load("quickstart")
+    module.step1_closed_forms()
+    out = capsys.readouterr().out
+    assert "consistency" in out
+
+
+def test_stock_ticker_helpers_run_small():
+    module = load("stock_ticker")
+    workload = module.build_workload()
+    assert workload.n_symbols == 60
+
+
+def test_routing_updates_helper_runs_small():
+    module = load("routing_updates")
+    result = module.run_table(20.0, flappy_fraction=0.0)
+    assert 0.0 < result.consistency <= 1.0
+
+
+def test_session_directory_partitionable_loss():
+    module = load("session_directory")
+    loss = module.PartitionableLoss(0.0)
+    assert not loss.is_lost()
+    loss.partitioned = True
+    assert loss.is_lost()

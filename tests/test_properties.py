@@ -1,0 +1,222 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants that must hold for *any* input, not just the examples the
+unit tests pick: simulation determinism, scheduler fairness bounds,
+meter bounds, loss-model means, and the analytic identities of
+Section 3.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import OpenLoopModel, expected_consistency
+from repro.analysis.openloop import (
+    consistent_fraction,
+    eventual_receipt_probability,
+)
+from repro.core import ConsistencyMeter, SoftStateTable
+from repro.des import Environment, RngStreams
+from repro.net import BernoulliLoss, GilbertElliottLoss
+from repro.sched import DrrScheduler, StrideScheduler, WfqScheduler
+
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+open_probabilities = st.floats(min_value=0.01, max_value=0.99)
+
+
+# -- Section 3 identities -------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(open_probabilities, open_probabilities)
+def test_traffic_split_sums_to_total(p_loss, p_death):
+    model = OpenLoopModel(2.0, 16.0, p_loss, p_death).solve()
+    assert model.lambda_inconsistent + model.lambda_consistent == pytest.approx(
+        model.lambda_total
+    )
+    assert model.lambda_total == pytest.approx(2.0 / p_death)
+
+
+@settings(max_examples=200, deadline=None)
+@given(open_probabilities, open_probabilities)
+def test_consistency_and_waste_are_probabilities(p_loss, p_death):
+    assert 0.0 <= consistent_fraction(p_loss, p_death) <= 1.0
+    value = expected_consistency(p_loss, p_death, 2.0, 16.0)
+    assert 0.0 <= value <= 1.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(open_probabilities, open_probabilities)
+def test_receipt_probability_bounds_and_monotonicity(p_loss, p_death):
+    value = eventual_receipt_probability(p_loss, p_death)
+    assert 0.0 <= value <= 1.0
+    # Receipt is harder with more loss.
+    assert value >= eventual_receipt_probability(
+        min(p_loss + 0.05, 1.0), p_death
+    ) - 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(open_probabilities, open_probabilities)
+def test_jackson_agrees_with_closed_forms_everywhere(p_loss, p_death):
+    model = OpenLoopModel(1.0, 16.0, p_loss, p_death)
+    closed = model.solve()
+    jackson = model.solve_jackson()
+    assert jackson.utilization["channel"] == pytest.approx(
+        closed.utilization
+    )
+
+
+# -- DES determinism --------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31), st.integers(2, 20))
+def test_simulation_is_deterministic_for_any_seed(seed, n_processes):
+    def run():
+        env = Environment()
+        rng = RngStreams(seed=seed)
+        trace = []
+
+        def worker(env, name, stream):
+            while True:
+                yield env.timeout(stream.expovariate(1.0))
+                trace.append((round(env.now, 9), name))
+
+        for i in range(n_processes):
+            env.process(worker(env, i, rng[f"w{i}"]))
+        env.run(until=20.0)
+        return trace
+
+    assert run() == run()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=30))
+def test_event_times_are_non_decreasing(delays):
+    env = Environment()
+    observed = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        observed.append(env.now)
+
+    for delay in delays:
+        env.process(proc(env, delay))
+    env.run()
+    fired_order = observed  # callbacks run in firing order
+    assert fired_order == sorted(fired_order)
+
+
+# -- scheduler fairness ---------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(min_value=0.1, max_value=10.0),
+    st.floats(min_value=0.1, max_value=10.0),
+    st.sampled_from(["stride", "wfq", "drr"]),
+)
+def test_two_class_share_tracks_weights(w_hot, w_cold, which):
+    scheduler = {
+        "stride": StrideScheduler,
+        "wfq": WfqScheduler,
+        "drr": DrrScheduler,
+    }[which]()
+    scheduler.add_class("hot", weight=w_hot)
+    scheduler.add_class("cold", weight=w_cold)
+    for i in range(4000):
+        scheduler.enqueue("hot", i)
+        scheduler.enqueue("cold", i)
+    served_hot = 0
+    for _ in range(2000):
+        name, _ = scheduler.dequeue()
+        served_hot += name == "hot"
+    expected = w_hot / (w_hot + w_cold)
+    assert served_hot / 2000 == pytest.approx(expected, abs=0.07)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from(["a", "b"]), min_size=1, max_size=60))
+def test_schedulers_conserve_items(ops):
+    scheduler = StrideScheduler()
+    scheduler.add_class("a", weight=1.0)
+    scheduler.add_class("b", weight=2.0)
+    enqueued = 0
+    for name in ops:
+        scheduler.enqueue(name, enqueued)
+        enqueued += 1
+    dequeued = 0
+    while scheduler.dequeue() is not None:
+        dequeued += 1
+    assert dequeued == enqueued
+    assert len(scheduler) == 0
+
+
+# -- loss models -------------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=0.9),
+    st.floats(min_value=1.0, max_value=20.0),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_gilbert_elliott_mean_is_constructed_exactly(mean, burst, seed):
+    ceiling = burst / (burst + 1.0)
+    if mean > ceiling:
+        with pytest.raises(ValueError, match="unreachable"):
+            GilbertElliottLoss.with_mean(mean, burst_length=burst)
+        return
+    model = GilbertElliottLoss.with_mean(
+        mean, burst_length=burst, rng=random.Random(seed)
+    )
+    assert model.mean_loss_rate == pytest.approx(mean, abs=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(probabilities, st.integers(min_value=0, max_value=2**31))
+def test_bernoulli_empirical_mean_converges(rate, seed):
+    model = BernoulliLoss(rate, rng=random.Random(seed))
+    empirical = sum(model.is_lost() for _ in range(5000)) / 5000
+    assert empirical == pytest.approx(rate, abs=0.03)
+
+
+# -- consistency meter ----------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=10.0),  # dt
+            st.booleans(),  # mutate publisher?
+            st.booleans(),  # sync subscriber?
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_meter_average_is_always_a_probability(steps):
+    publisher = SoftStateTable("publisher")
+    subscriber = SoftStateTable("subscriber")
+    meter = ConsistencyMeter(publisher, [subscriber])
+    now = 0.0
+    key = 0
+    for dt, mutate, sync in steps:
+        now += dt
+        if mutate:
+            publisher.put(f"k{key}", key, now=now)
+            key += 1
+        if sync and key > 0:
+            last = f"k{key - 1}"
+            record = publisher.get(last)
+            subscriber.put(
+                last, record.value, now=now, version=record.version
+            )
+        meter.observe(now)
+    assert 0.0 <= meter.average() <= 1.0
+    assert meter.duration == pytest.approx(now)
