@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-quick examples clean
+.PHONY: install test bench bench-json experiments experiments-quick examples clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -13,6 +13,12 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Micro-benchmark results as json, for tracking the perf trajectory
+# across PRs (compare BENCH_micro.json mean/ops between revisions).
+bench-json:
+	$(PYTHON) -m pytest benchmarks/test_bench_micro.py --benchmark-only \
+		--benchmark-json=BENCH_micro.json
 
 experiments:
 	$(PYTHON) -m repro.experiments

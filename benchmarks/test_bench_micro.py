@@ -1,8 +1,13 @@
-"""Micro-benchmarks of the substrates (throughput sanity checks)."""
+"""Micro-benchmarks of the substrates (throughput sanity checks).
+
+``make bench-json`` runs this module alone and writes the results to
+``BENCH_micro.json`` so successive PRs can track the perf trajectory.
+"""
 
 import random
 
 from repro.des import Environment
+from repro.experiments.runner import map_cells
 from repro.sched import StrideScheduler, WfqScheduler
 from repro.sstp import Namespace
 
@@ -55,6 +60,44 @@ def test_bench_wfq_throughput(benchmark):
         return count
 
     assert benchmark(run) == 10000
+
+
+def _runner_cell(n_events: float, seed: int) -> float:
+    """One runner cell: a small seeded simulation, as experiments submit."""
+    rng = random.Random(seed)
+    env = Environment()
+
+    def clock(env):
+        for _ in range(int(n_events)):
+            yield env.timeout(rng.uniform(0.5, 1.5))
+
+    env.process(clock(env))
+    env.run()
+    return env.now
+
+
+def test_bench_runner_sequential_throughput(benchmark):
+    """Cells dispatched through the sequential runner path (jobs=1)."""
+    cells = [{"n_events": 500, "seed": seed} for seed in range(20)]
+
+    def run():
+        return map_cells(_runner_cell, cells, jobs=1)
+
+    results = benchmark(run)
+    assert len(results) == 20
+    assert all(now > 0.0 for now in results)
+
+
+def test_bench_runner_parallel_matches_sequential(benchmark):
+    """Pooled dispatch (jobs=2): same results, merged in cell order."""
+    cells = [{"n_events": 500, "seed": seed} for seed in range(20)]
+    sequential = map_cells(_runner_cell, cells, jobs=1)
+
+    def run():
+        return map_cells(_runner_cell, cells, jobs=2)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert results == sequential
 
 
 def test_bench_namespace_digest_maintenance(benchmark):

@@ -185,6 +185,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--quick", action="store_true")
     experiment.add_argument("--plot", action="store_true")
     experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel worker processes per experiment (0 = one per CPU)",
+    )
     experiment.set_defaults(func=None)
 
     return parser
@@ -200,6 +207,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.plot:
             forwarded.append("--plot")
         forwarded.extend(["--seed", str(args.seed)])
+        forwarded.extend(["--jobs", str(args.jobs)])
         return experiments_main(forwarded)
     return args.func(args)
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class Record:
     """One {key, value} pair with lifetime/refresh bookkeeping.
 
@@ -72,6 +72,12 @@ class SoftStateTable:
         self.updates = 0
         self.deletes = 0
         self.expirations = 0
+        #: Lower bound on the earliest expiry among stored records.  While
+        #: ``now`` is below it, :meth:`expire` is O(1).  Timer refreshes
+        #: only push expiries later, so the bound stays conservative; any
+        #: operation that can pull an expiry earlier must lower it (``put``
+        #: does, and external shrinks go through :meth:`bound_expiry`).
+        self._next_expiry = math.inf
 
     # -- mutation ------------------------------------------------------------
     def put(
@@ -105,6 +111,11 @@ class SoftStateTable:
             )
             self._records[key] = record
             self.inserts += 1
+            expiry = (
+                now + lifetime if self.role == "publisher" else now + hold_time
+            )
+            if expiry < self._next_expiry:
+                self._next_expiry = expiry
             return record
         if version is None:
             existing.version += 1
@@ -123,6 +134,13 @@ class SoftStateTable:
             existing.created_at if self.role == "subscriber" else now
         )
         self.updates += 1
+        expiry = (
+            existing.created_at + lifetime
+            if self.role == "publisher"
+            else now + hold_time
+        )
+        if expiry < self._next_expiry:
+            self._next_expiry = expiry
         return existing
 
     def refresh(self, key: Any, now: float) -> bool:
@@ -141,18 +159,62 @@ class SoftStateTable:
         return record
 
     def expire(self, now: float) -> List[Record]:
-        """Drop every record whose timer has lapsed; fire callbacks."""
-        expired = [
-            record
-            for record in self._records.values()
-            if not self._is_live(record, now)
-        ]
+        """Drop every record whose timer has lapsed; fire callbacks.
+
+        Fast path: while ``now`` is below the maintained next-expiry
+        bound, nothing can have lapsed and the call is O(1).  Callers
+        invoke this on nearly every simulation event, so skipping the
+        full scan is the difference between O(events) and
+        O(events x records) for a whole run.
+        """
+        if now < self._next_expiry:
+            return []
+        records = self._records
+        publisher = self.role == "publisher"
+        if publisher:
+            expired = [
+                record
+                for record in records.values()
+                if record.created_at + record.lifetime <= now
+            ]
+        else:
+            expired = [
+                record
+                for record in records.values()
+                if record.last_refreshed + record.hold_time <= now
+            ]
+        # Reset before callbacks run: a callback may put() an
+        # earlier-expiring record, which lowers the bound itself.
+        self._next_expiry = math.inf
         for record in expired:
-            del self._records[record.key]
+            del records[record.key]
             self.expirations += 1
             for callback in self._on_expire:
                 callback(record, now)
+        nxt = math.inf
+        if publisher:
+            for record in records.values():
+                expiry = record.created_at + record.lifetime
+                if expiry < nxt:
+                    nxt = expiry
+        else:
+            for record in records.values():
+                expiry = record.last_refreshed + record.hold_time
+                if expiry < nxt:
+                    nxt = expiry
+        if nxt < self._next_expiry:
+            self._next_expiry = nxt
         return expired
+
+    def bound_expiry(self, expiry: float) -> None:
+        """Tell the table a record's expiry may now be as early as ``expiry``.
+
+        Required after shrinking a record's timer fields directly (rather
+        than through :meth:`put`/:meth:`refresh`), so the lazy-expiry fast
+        path stays conservative.
+        """
+        if expiry < self._next_expiry:
+            self._next_expiry = expiry
 
     def on_expire(self, callback: ExpiryCallback) -> None:
         """Register ``callback(record, now)`` for timer expirations."""
@@ -161,6 +223,7 @@ class SoftStateTable:
     def clear(self) -> None:
         """Drop everything (e.g. a subscriber crash losing its state)."""
         self._records.clear()
+        self._next_expiry = math.inf
 
     # -- queries ---------------------------------------------------------------
     def get(self, key: Any) -> Optional[Record]:
@@ -177,10 +240,16 @@ class SoftStateTable:
 
     def live_records(self, now: float) -> List[Record]:
         """The live data set L(t): records whose timers have not lapsed."""
+        if self.role == "publisher":
+            return [
+                record
+                for record in self._records.values()
+                if now < record.created_at + record.lifetime
+            ]
         return [
             record
             for record in self._records.values()
-            if self._is_live(record, now)
+            if now < record.last_refreshed + record.hold_time
         ]
 
     def live_keys(self, now: float) -> List[Any]:

@@ -9,6 +9,27 @@ the event's value (or the event's exception is thrown into it).
 Determinism: events scheduled for the same simulation time are processed
 in (priority, insertion-order), so a seeded simulation is fully
 reproducible run-to-run.
+
+Performance: this is the hottest loop in the repository, so the kernel
+takes a few deliberate liberties with style (see docs/KERNEL.md,
+"Performance"):
+
+* every core class declares ``__slots__`` — attribute access on events
+  is the single most frequent operation in a run;
+* :meth:`Environment.timeout`, :meth:`Event.succeed` and
+  :meth:`Event.fail` append to the queue directly (the "fast-append"
+  path) instead of going through :meth:`Environment._schedule`, and
+  ``env.timeout()`` builds the :class:`Timeout` with ``__new__`` plus
+  direct slot stores, skipping the chained-``__init__`` churn;
+* process start schedules a bare pre-triggered :class:`Event` built the
+  same way (the old ``Initialize`` bookkeeping subclass is gone);
+* :meth:`Environment.run` inlines the body of :meth:`Environment.step`
+  and binds hot globals/attributes to locals.
+
+None of this changes scheduling order: entries still sort by
+``(time, priority, insertion-order)`` with insertion-order assigned by
+the same single counter, so seeded traces are bit-for-bit identical to
+the straightforward implementation.
 """
 
 from __future__ import annotations
@@ -21,6 +42,10 @@ from typing import Any, Callable, Generator, Iterable, Optional
 URGENT = 0
 #: Default priority for ordinary events.
 NORMAL = 1
+
+_INF = float("inf")
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(Exception):
@@ -58,6 +83,8 @@ class Event:
     environment pops it, all registered callbacks run and the event
     becomes *processed*.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -99,7 +126,9 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        _heappush(env._queue, (env._now, NORMAL, eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -113,11 +142,18 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        _heappush(env._queue, (env._now, NORMAL, eid, self))
         return self
 
     def trigger(self, event: "Event") -> None:
         """Trigger this event with the state of another (for chaining)."""
+        if event._value is PENDING:
+            raise SimulationError(
+                f"cannot propagate the state of {event!r}: "
+                "it has not been triggered yet"
+            )
         if event._ok:
             self.succeed(event._value)
         else:
@@ -144,28 +180,22 @@ class Event:
 class Timeout(Event):
     """An event that triggers after ``delay`` units of simulation time."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        super().__init__(env)
-        self._delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, NORMAL, delay)
+        self._ok = True
+        self._defused = False
+        self._delay = delay
+        env._eid = eid = env._eid + 1
+        _heappush(env._queue, (env._now + delay, NORMAL, eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self._delay}>"
-
-
-class Initialize(Event):
-    """Immediate event used to start a freshly created process."""
-
-    def __init__(self, env: "Environment", process: "Process") -> None:
-        super().__init__(env)
-        self.callbacks.append(process._resume)
-        self._ok = True
-        self._value = None
-        env._schedule(self, URGENT, 0.0)
 
 
 class Process(Event):
@@ -178,13 +208,28 @@ class Process(Event):
     >>> result = yield env.process(child(env))
     """
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "throw"):
             raise SimulationError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self._generator = generator
         self._target: Optional[Event] = None
-        Initialize(env, self)
+        # Start the process via a bare pre-triggered event (the fast-path
+        # replacement for the old ``Initialize`` bookkeeping subclass).
+        init = Event.__new__(Event)
+        init.env = env
+        init.callbacks = [self._resume]
+        init._value = None
+        init._ok = True
+        init._defused = False
+        env._eid = eid = env._eid + 1
+        _heappush(env._queue, (env._now, URGENT, eid, init))
 
     @property
     def target(self) -> Optional[Event]:
@@ -207,49 +252,61 @@ class Process(Event):
         if self._target is None:
             raise SimulationError(f"{self!r} has not started; cannot interrupt")
 
-        interrupt_event = Event(self.env)
+        env = self.env
+        interrupt_event = Event.__new__(Event)
+        interrupt_event.env = env
+        interrupt_event.callbacks = [self._resume]
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
         interrupt_event._defused = True
-        interrupt_event.callbacks.append(self._resume)
-        self.env._schedule(interrupt_event, URGENT, 0.0)
+        env._eid = eid = env._eid + 1
+        _heappush(env._queue, (env._now, URGENT, eid, interrupt_event))
 
     def _resume(self, event: Event) -> None:
         """Advance the generator by one step with ``event``'s outcome."""
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        generator = self._generator
         while True:
             # Detach from the event we were waiting for.  If an interrupt
             # arrived while we waited on a still-pending event, we must
             # deregister our callback from it.
-            if self._target is not None and self._target is not event:
-                if self._target.callbacks is not None:
+            target = self._target
+            if target is not None and target is not event:
+                if target.callbacks is not None:
                     try:
-                        self._target.callbacks.remove(self._resume)
+                        target.callbacks.remove(self._resume)
                     except ValueError:
                         pass
             self._target = None
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                self.env._schedule(self, NORMAL, 0.0)
+                env._eid = eid = env._eid + 1
+                _heappush(env._queue, (env._now, NORMAL, eid, self))
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
-                self.env._schedule(self, NORMAL, 0.0)
+                env._eid = eid = env._eid + 1
+                _heappush(env._queue, (env._now, NORMAL, eid, self))
                 break
 
-            if not isinstance(next_event, Event):
+            if type(next_event) is not Timeout and not isinstance(
+                next_event, Event
+            ):
                 exc = SimulationError(
                     f"process yielded a non-event: {next_event!r}"
                 )
-                event = Event(self.env)
+                event = Event.__new__(Event)
+                event.env = env
+                event.callbacks = []
                 event._ok = False
                 event._value = exc
                 event._defused = True
@@ -265,7 +322,7 @@ class Process(Event):
             # Event already processed: loop immediately with its outcome.
             event = next_event
 
-        self.env._active_process = None
+        env._active_process = None
 
     def __repr__(self) -> str:
         name = getattr(self._generator, "__name__", str(self._generator))
@@ -275,10 +332,13 @@ class Process(Event):
 class Condition(Event):
     """Waits for a boolean combination of events (base for All/AnyOf)."""
 
+    __slots__ = ("_events", "_count", "_total")
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
         self._count = 0
+        self._total = len(self._events)
         for event in self._events:
             if event.env is not env:
                 raise SimulationError("events belong to different environments")
@@ -290,21 +350,21 @@ class Condition(Event):
                 self._check(event)
             else:
                 event.callbacks.append(self._check)
-            if self.triggered:
+            if self._value is not PENDING:
                 break
 
     def _evaluate(self, count: int, total: int) -> bool:
         raise NotImplementedError
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
         if not event._ok:
             event._defused = True
             self.fail(event._value)
             return
         self._count += 1
-        if self._evaluate(self._count, len(self._events)):
+        if self._evaluate(self._count, self._total):
             self.succeed(self._collect_values())
 
     def _collect_values(self) -> dict:
@@ -313,12 +373,14 @@ class Condition(Event):
         return {
             i: event._value
             for i, event in enumerate(self._events)
-            if event.processed and event._ok
+            if event.callbacks is None and event._ok
         }
 
 
 class AllOf(Condition):
     """Triggers when *all* constituent events have triggered."""
+
+    __slots__ = ()
 
     def _evaluate(self, count: int, total: int) -> bool:
         return count == total
@@ -327,12 +389,16 @@ class AllOf(Condition):
 class AnyOf(Condition):
     """Triggers when *any* constituent event has triggered."""
 
+    __slots__ = ()
+
     def _evaluate(self, count: int, total: int) -> bool:
         return count >= 1
 
 
 class Environment:
     """Execution environment: the event queue and the simulation clock."""
+
+    __slots__ = ("_now", "_queue", "_eid", "_active_process")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -356,8 +422,24 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that triggers ``delay`` time units from now."""
-        return Timeout(self, delay, value)
+        """Create an event that triggers ``delay`` time units from now.
+
+        Fast path: builds the :class:`Timeout` with direct slot stores
+        and appends it to the queue without intermediate calls — this is
+        the most frequently executed factory in any model.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        event = Event.__new__(Timeout)
+        event.env = self
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event._defused = False
+        event._delay = delay
+        self._eid = eid = self._eid + 1
+        _heappush(self._queue, (self._now + delay, NORMAL, eid, event))
+        return event
 
     def process(self, generator: Generator) -> Process:
         """Start a new process from ``generator``."""
@@ -371,22 +453,21 @@ class Environment:
 
     # -- scheduling & stepping ----------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
-        self._eid += 1
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, self._eid, event)
-        )
+        self._eid = eid = self._eid + 1
+        _heappush(self._queue, (self._now + delay, priority, eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue[0][0] if self._queue else _INF
 
     def step(self) -> None:
         """Process the single next event."""
         if not self._queue:
             raise SimulationError("no more events")
-        when, _, _, event = heapq.heappop(self._queue)
+        when, _, _, event = _heappop(self._queue)
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
+        event.callbacks = None
         for callback in callbacks:
             callback(event)
         if not event._ok and not event._defused:
@@ -401,7 +482,7 @@ class Environment:
         processed and return its value).
         """
         stop_event: Optional[Event] = None
-        stop_time = float("inf")
+        stop_time = _INF
         if isinstance(until, Event):
             stop_event = until
         elif until is not None:
@@ -411,23 +492,48 @@ class Environment:
                     f"until={stop_time} is in the past (now={self._now})"
                 )
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
+        # The inlined body of step() below is the hottest loop in the
+        # repository; `queue` and `pop` are bound to locals on purpose.
+        queue = self._queue
+        pop = _heappop
+
+        if stop_event is None and stop_time == _INF:
+            # Fast drain: no stop condition to re-check per event.
+            while queue:
+                when, _, _, event = pop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+            return None
+
+        while queue:
+            if stop_event is not None and stop_event.callbacks is None:
                 break
-            if self.peek() > stop_time:
+            if queue[0][0] > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            when, _, _, event = pop(queue)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
 
         if stop_event is not None:
-            if not stop_event.triggered:
+            if stop_event._value is PENDING:
                 raise SimulationError(
                     "run() ran out of events before the awaited event fired"
                 )
-            if not stop_event.ok:
+            if not stop_event._ok:
                 raise stop_event._value
             return stop_event._value
-        if stop_time != float("inf"):
+        if stop_time != _INF:
             self._now = stop_time
         return None
 

@@ -188,12 +188,21 @@ class Store:
             event.succeed()
 
 
+class _FilterGet(Event):
+    """A pending filtered ``get``; carries its predicate (Event is slotted)."""
+
+    __slots__ = ("_filter",)
+
+    def __init__(self, env: Environment, filter: Callable[[Any], bool]) -> None:
+        super().__init__(env)
+        self._filter = filter
+
+
 class FilterStore(Store):
     """A :class:`Store` whose ``get`` accepts only matching items."""
 
     def get(self, filter: Callable[[Any], bool] = lambda item: True) -> Event:  # type: ignore[override]
-        event = Event(self.env)
-        event._filter = filter  # type: ignore[attr-defined]
+        event = _FilterGet(self.env, filter)
         self._getters.append(event)
         self._serve_getters()
         return event

@@ -24,7 +24,10 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         metavar="ID",
-        help=f"experiment ids (default: all of {sorted(EXPERIMENTS)})",
+        help=(
+            "experiment ids, or 'run-all' "
+            f"(default: all of {sorted(EXPERIMENTS)})"
+        ),
     )
     parser.add_argument(
         "--quick", action="store_true", help="reduced sweeps and horizons"
@@ -35,12 +38,24 @@ def main(argv: list[str] | None = None) -> int:
         help="render an ASCII chart after each table where one applies",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run each experiment's cells on N worker processes "
+            "(0 = one per CPU; output is byte-identical at any N)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     requested = args.experiments or sorted(EXPERIMENTS)
+    if "run-all" in requested:
+        requested = sorted(EXPERIMENTS)
     for experiment_id in requested:
         result = run_experiment(
-            experiment_id, quick=args.quick, seed=args.seed
+            experiment_id, quick=args.quick, seed=args.seed, jobs=args.jobs
         )
         print(result.render())
         if args.plot:

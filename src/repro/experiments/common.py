@@ -1,11 +1,31 @@
-"""Shared experiment machinery: result containers and table rendering."""
+"""Shared experiment machinery: result containers, table rendering, and
+the cell-decomposition helper every experiment runs its sweep through."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 Row = Dict[str, Any]
+
+
+def run_cells(
+    fn: Callable[..., Any],
+    cells: Sequence[Dict[str, Any]],
+    jobs: int = 1,
+) -> List[Any]:
+    """Execute an experiment's independent cells, sequentially or pooled.
+
+    Experiments decompose their sweep into cells — one module-level
+    function call per ``(params, seed)`` combination — build the cell
+    list in row order, and assemble rows from the returned payloads.
+    Delegates to :mod:`repro.experiments.runner`; with ``jobs > 1`` the
+    cells run on a process pool and come back in submission order, so
+    assembled rows are byte-identical to a sequential run.
+    """
+    from repro.experiments.runner import map_cells
+
+    return map_cells(fn, cells, jobs=jobs)
 
 
 @dataclass

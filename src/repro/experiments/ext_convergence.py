@@ -17,7 +17,13 @@ from __future__ import annotations
 import math
 from typing import List, Tuple
 
-from repro.experiments.common import ExperimentResult, horizon_for, sweep_points
+from repro.experiments.common import (
+    ExperimentResult,
+    Row,
+    horizon_for,
+    run_cells,
+    sweep_points,
+)
 from repro.protocols import FeedbackSession, OpenLoopSession, TwoQueueSession
 from repro.workloads import StaticBulkWorkload
 
@@ -64,31 +70,44 @@ def build_session(protocol: str, loss: float, seed: int, n_records: int):
     raise ValueError(f"unknown protocol {protocol!r}")
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def _cell(
+    loss: float, protocol: str, horizon: float, seed: int, n_records: int
+) -> Row:
+    """One protocol's convergence run over the static bulk store."""
+    session = build_session(protocol, loss, seed, n_records)
+    result = session.run(horizon=horizon, warmup=0.0)
+    # The running average lags the instantaneous value; use the
+    # meter's raw series for crossing detection.
+    raw = session.meter.series
+    times = crossing_times(raw)
+    return {
+        "loss": loss,
+        "protocol": protocol,
+        "t50_s": times[0.5],
+        "t90_s": times[0.9],
+        "t99_s": times[0.99],
+        "final": result.consistency,
+    }
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     horizon = horizon_for(quick, full=400.0, reduced=150.0)
     n_records = N_RECORDS_QUICK if quick else N_RECORDS_FULL
     losses = sweep_points(
         quick, full=[0.05, 0.2, 0.4, 0.6], reduced=[0.05, 0.4]
     )
-    rows = []
-    for loss in losses:
-        for protocol in ("open-loop", "two-queue", "feedback"):
-            session = build_session(protocol, loss, seed, n_records)
-            result = session.run(horizon=horizon, warmup=0.0)
-            # The running average lags the instantaneous value; use the
-            # meter's raw series for crossing detection.
-            raw = session.meter.series
-            times = crossing_times(raw)
-            rows.append(
-                {
-                    "loss": loss,
-                    "protocol": protocol,
-                    "t50_s": times[0.5],
-                    "t90_s": times[0.9],
-                    "t99_s": times[0.99],
-                    "final": result.consistency,
-                }
-            )
+    cells = [
+        {
+            "loss": loss,
+            "protocol": protocol,
+            "horizon": horizon,
+            "seed": seed,
+            "n_records": n_records,
+        }
+        for loss in losses
+        for protocol in ("open-loop", "two-queue", "feedback")
+    ]
+    rows = run_cells(_cell, cells, jobs=jobs)
     return ExperimentResult(
         experiment_id="ext_convergence",
         title="Time to eventual consistency (static bulk store)",

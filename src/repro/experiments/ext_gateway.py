@@ -13,7 +13,13 @@ bottleneck rate.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, horizon_for, sweep_points
+from repro.experiments.common import (
+    ExperimentResult,
+    Row,
+    horizon_for,
+    run_cells,
+    sweep_points,
+)
 from repro.protocols import GatewaySession
 
 LOCAL_KBPS = 100.0
@@ -21,32 +27,45 @@ UPDATE_RATE = 3.0
 LIFETIME = 60.0
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def _cell(
+    bottleneck: float, mode: str, horizon: float, warmup: float, seed: int
+) -> Row:
+    """One gateway session at a given bottleneck bandwidth and mode."""
+    result = GatewaySession(
+        local_kbps=LOCAL_KBPS,
+        bottleneck_kbps=bottleneck,
+        update_rate=UPDATE_RATE,
+        lifetime_mean=LIFETIME,
+        mode=mode,
+        seed=seed,
+    ).run(horizon=horizon, warmup=warmup)
+    return {
+        "bottleneck_kbps": bottleneck,
+        "mode": mode,
+        "e2e_consistency": result.end_to_end_consistency,
+        "remote_latency_s": result.mean_remote_latency,
+        "backlog_end": result.bottleneck_backlog_end,
+    }
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     horizon = horizon_for(quick, full=400.0, reduced=150.0)
     warmup = horizon / 5.0
     bottlenecks = sweep_points(
         quick, full=[2.0, 4.0, 8.0, 16.0, 32.0], reduced=[4.0, 16.0]
     )
-    rows = []
-    for bottleneck in bottlenecks:
-        for mode in ("soft_state", "forwarder"):
-            result = GatewaySession(
-                local_kbps=LOCAL_KBPS,
-                bottleneck_kbps=bottleneck,
-                update_rate=UPDATE_RATE,
-                lifetime_mean=LIFETIME,
-                mode=mode,
-                seed=seed,
-            ).run(horizon=horizon, warmup=warmup)
-            rows.append(
-                {
-                    "bottleneck_kbps": bottleneck,
-                    "mode": mode,
-                    "e2e_consistency": result.end_to_end_consistency,
-                    "remote_latency_s": result.mean_remote_latency,
-                    "backlog_end": result.bottleneck_backlog_end,
-                }
-            )
+    cells = [
+        {
+            "bottleneck": bottleneck,
+            "mode": mode,
+            "horizon": horizon,
+            "warmup": warmup,
+            "seed": seed,
+        }
+        for bottleneck in bottlenecks
+        for mode in ("soft_state", "forwarder")
+    ]
+    rows = run_cells(_cell, cells, jobs=jobs)
     return ExperimentResult(
         experiment_id="ext_gateway",
         title="Soft-state gateway vs naive forwarder across a bottleneck",

@@ -12,43 +12,66 @@ linearly (the NACK implosion problem).
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, horizon_for, sweep_points
+from typing import Dict
+
+from repro.experiments.common import (
+    ExperimentResult,
+    horizon_for,
+    run_cells,
+    sweep_points,
+)
 from repro.protocols import MulticastFeedbackSession
 
 SHARED_LOSS = 0.25
 TAIL_LOSS = 0.02
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def _cell(n: int, horizon: float, warmup: float, seed: int) -> Dict[str, float]:
+    """One multicast session at a given group size."""
+    result = MulticastFeedbackSession(
+        n_receivers=n,
+        data_kbps=40.0,
+        feedback_kbps=5.0,
+        loss_rate=TAIL_LOSS,
+        shared_loss_rate=SHARED_LOSS,
+        hot_share=0.7,
+        update_rate=8.0,
+        lifetime_mean=25.0,
+        seed=seed,
+    ).run(horizon=horizon, warmup=warmup)
+    return {
+        "consistency": result.consistency,
+        "nacks": result.nacks_sent,
+        "suppressed": result.nacks_suppressed,
+    }
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     horizon = horizon_for(quick, full=400.0, reduced=120.0)
     warmup = horizon / 5.0
-    group_sizes = sweep_points(
-        quick, full=[1, 2, 4, 8, 16, 32], reduced=[1, 4, 8]
-    )
+    group_sizes = [
+        int(n)
+        for n in sweep_points(
+            quick, full=[1, 2, 4, 8, 16, 32], reduced=[1, 4, 8]
+        )
+    ]
+    cells = [
+        {"n": n, "horizon": horizon, "warmup": warmup, "seed": seed}
+        for n in group_sizes
+    ]
+    measured = run_cells(_cell, cells, jobs=jobs)
     rows = []
     base_nacks = None
-    for n in group_sizes:
-        n = int(n)
-        result = MulticastFeedbackSession(
-            n_receivers=n,
-            data_kbps=40.0,
-            feedback_kbps=5.0,
-            loss_rate=TAIL_LOSS,
-            shared_loss_rate=SHARED_LOSS,
-            hot_share=0.7,
-            update_rate=8.0,
-            lifetime_mean=25.0,
-            seed=seed,
-        ).run(horizon=horizon, warmup=warmup)
+    for n, point in zip(group_sizes, measured):
         if base_nacks is None:
-            base_nacks = max(result.nacks_sent, 1)
+            base_nacks = max(point["nacks"], 1)
         rows.append(
             {
                 "group_size": n,
-                "consistency": result.consistency,
-                "nacks": result.nacks_sent,
-                "suppressed": result.nacks_suppressed,
-                "nacks_vs_n1": result.nacks_sent / base_nacks,
+                "consistency": point["consistency"],
+                "nacks": point["nacks"],
+                "suppressed": point["suppressed"],
+                "nacks_vs_n1": point["nacks"] / base_nacks,
                 "naive_scaling": float(n),
             }
         )

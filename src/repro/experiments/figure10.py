@@ -10,7 +10,13 @@ operating region.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, horizon_for, sweep_points
+from repro.experiments.common import (
+    ExperimentResult,
+    Row,
+    horizon_for,
+    run_cells,
+    sweep_points,
+)
 from repro.protocols import FeedbackSession
 
 MU_DATA = 38.0
@@ -20,7 +26,26 @@ LOSS = 0.1
 LIFETIME_MEAN = 20.0
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def _cell(hot_share: float, horizon: float, warmup: float, seed: int) -> Row:
+    """One feedback session at a given hot-queue share."""
+    result = FeedbackSession(
+        hot_share=hot_share,
+        data_kbps=MU_DATA,
+        feedback_kbps=MU_FB,
+        loss_rate=LOSS,
+        update_rate=LAMBDA,
+        lifetime_mean=LIFETIME_MEAN,
+        seed=seed,
+    ).run(horizon=horizon, warmup=warmup)
+    return {
+        "hot_share": hot_share,
+        "mu_hot_kbps": round(hot_share * MU_DATA, 1),
+        "hot_over_lambda": round(hot_share * MU_DATA / LAMBDA, 2),
+        "consistency": result.consistency,
+    }
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     horizon = horizon_for(quick, full=600.0, reduced=150.0)
     warmup = horizon / 5.0
     hot_shares = sweep_points(
@@ -28,25 +53,16 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         full=[0.1, 0.2, 0.3, 0.35, 0.4, 0.45, 0.5, 0.6, 0.7, 0.8, 0.9],
         reduced=[0.2, 0.45, 0.8],
     )
-    rows = []
-    for hot_share in hot_shares:
-        result = FeedbackSession(
-            hot_share=hot_share,
-            data_kbps=MU_DATA,
-            feedback_kbps=MU_FB,
-            loss_rate=LOSS,
-            update_rate=LAMBDA,
-            lifetime_mean=LIFETIME_MEAN,
-            seed=seed,
-        ).run(horizon=horizon, warmup=warmup)
-        rows.append(
-            {
-                "hot_share": hot_share,
-                "mu_hot_kbps": round(hot_share * MU_DATA, 1),
-                "hot_over_lambda": round(hot_share * MU_DATA / LAMBDA, 2),
-                "consistency": result.consistency,
-            }
-        )
+    cells = [
+        {
+            "hot_share": hot_share,
+            "horizon": horizon,
+            "warmup": warmup,
+            "seed": seed,
+        }
+        for hot_share in hot_shares
+    ]
+    rows = run_cells(_cell, cells, jobs=jobs)
     return ExperimentResult(
         experiment_id="figure10",
         title="Consistency vs mu_hot (with feedback)",

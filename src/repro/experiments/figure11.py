@@ -9,14 +9,40 @@ matters.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, horizon_for, sweep_points
+from repro.experiments.common import (
+    ExperimentResult,
+    Row,
+    horizon_for,
+    run_cells,
+    sweep_points,
+)
 from repro.protocols import FeedbackSession
 from repro.experiments.figure10 import LAMBDA, LIFETIME_MEAN, MU_DATA, MU_FB
 
 LOSS_RATES = [0.01, 0.2, 0.3, 0.4, 0.5]
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def _cell(
+    loss: float, hot_share: float, horizon: float, warmup: float, seed: int
+) -> Row:
+    """One (loss, hot-share) feedback session."""
+    result = FeedbackSession(
+        hot_share=hot_share,
+        data_kbps=MU_DATA,
+        feedback_kbps=MU_FB,
+        loss_rate=loss,
+        update_rate=LAMBDA,
+        lifetime_mean=LIFETIME_MEAN,
+        seed=seed,
+    ).run(horizon=horizon, warmup=warmup)
+    return {
+        "loss": loss,
+        "hot_share": hot_share,
+        "consistency": result.consistency,
+    }
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     horizon = horizon_for(quick, full=600.0, reduced=150.0)
     warmup = horizon / 5.0
     hot_shares = sweep_points(
@@ -24,25 +50,18 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         full=[0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
         reduced=[0.3, 0.6, 0.9],
     )
-    rows = []
-    for loss in LOSS_RATES:
-        for hot_share in hot_shares:
-            result = FeedbackSession(
-                hot_share=hot_share,
-                data_kbps=MU_DATA,
-                feedback_kbps=MU_FB,
-                loss_rate=loss,
-                update_rate=LAMBDA,
-                lifetime_mean=LIFETIME_MEAN,
-                seed=seed,
-            ).run(horizon=horizon, warmup=warmup)
-            rows.append(
-                {
-                    "loss": loss,
-                    "hot_share": hot_share,
-                    "consistency": result.consistency,
-                }
-            )
+    cells = [
+        {
+            "loss": loss,
+            "hot_share": hot_share,
+            "horizon": horizon,
+            "warmup": warmup,
+            "seed": seed,
+        }
+        for loss in LOSS_RATES
+        for hot_share in hot_shares
+    ]
+    rows = run_cells(_cell, cells, jobs=jobs)
     return ExperimentResult(
         experiment_id="figure11",
         title="Consistency knee vs hot share, per loss rate",

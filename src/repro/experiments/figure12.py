@@ -9,7 +9,9 @@ scheduler tree after serving traffic under one of them.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult
+from typing import Any, Dict
+
+from repro.experiments.common import ExperimentResult, run_cells
 from repro.sched import HierarchicalScheduler
 from repro.sstp import ProfileDrivenAllocator, StaticCongestionManager
 
@@ -39,30 +41,37 @@ def demo_tree(hot_share: float, fb_share: float) -> HierarchicalScheduler:
     return scheduler
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def _cell(loss: float, update_kbps: float) -> Dict[str, Any]:
+    """One allocator evaluation at a measured network condition."""
     allocator = ProfileDrivenAllocator(StaticCongestionManager(TOTAL_KBPS))
-    rows = []
-    last = None
-    for scenario in SCENARIOS:
-        allocation = allocator.allocate(
-            now=0.0,
-            loss_rate=scenario["loss"],
-            update_kbps=scenario["update_kbps"],
-        )
-        last = allocation
-        rows.append(
-            {
-                "loss": scenario["loss"],
-                "offered_kbps": scenario["update_kbps"],
-                "data_kbps": round(allocation.data_kbps, 2),
-                "fb_kbps": round(allocation.feedback_kbps, 2),
-                "hot_kbps": round(allocation.hot_kbps, 2),
-                "cold_kbps": round(allocation.cold_kbps, 2),
-                "predicted_c": round(allocation.predicted_consistency, 3),
-                "max_offered_kbps": round(allocation.max_update_kbps, 2),
-            }
-        )
-    tree = demo_tree(last.hot_share, last.feedback_share)
+    allocation = allocator.allocate(
+        now=0.0, loss_rate=loss, update_kbps=update_kbps
+    )
+    return {
+        "row": {
+            "loss": loss,
+            "offered_kbps": update_kbps,
+            "data_kbps": round(allocation.data_kbps, 2),
+            "fb_kbps": round(allocation.feedback_kbps, 2),
+            "hot_kbps": round(allocation.hot_kbps, 2),
+            "cold_kbps": round(allocation.cold_kbps, 2),
+            "predicted_c": round(allocation.predicted_consistency, 3),
+            "max_offered_kbps": round(allocation.max_update_kbps, 2),
+        },
+        "hot_share": allocation.hot_share,
+        "feedback_share": allocation.feedback_share,
+    }
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+    cells = [
+        {"loss": scenario["loss"], "update_kbps": scenario["update_kbps"]}
+        for scenario in SCENARIOS
+    ]
+    results = run_cells(_cell, cells, jobs=jobs)
+    rows = [result["row"] for result in results]
+    last = results[-1]
+    tree = demo_tree(last["hot_share"], last["feedback_share"])
     return ExperimentResult(
         experiment_id="figure12",
         title="Profile-driven allocator output per network condition",

@@ -12,32 +12,41 @@ and in the figure3 bench.
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.analysis import expected_consistency
-from repro.experiments.common import ExperimentResult, sweep_points
+from repro.experiments.common import ExperimentResult, Row, run_cells, sweep_points
 
 LAMBDA_KBPS = 20.0
 MU_KBPS = 128.0
 DEATH_RATES = [0.15, 0.20, 0.30, 0.40, 0.50]
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def _cell(p_death: float, loss_rates: List[float]) -> List[Row]:
+    """One death-rate curve: the closed form across the loss sweep."""
+    return [
+        {
+            "p_death": p_death,
+            "p_loss": p_loss,
+            "consistency": expected_consistency(
+                p_loss, p_death, LAMBDA_KBPS, MU_KBPS
+            ),
+        }
+        for p_loss in loss_rates
+    ]
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     loss_rates = sweep_points(
         quick,
         full=[round(0.02 * i, 2) for i in range(0, 51)],
         reduced=[0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0],
     )
-    rows = []
-    for p_death in DEATH_RATES:
-        for p_loss in loss_rates:
-            rows.append(
-                {
-                    "p_death": p_death,
-                    "p_loss": p_loss,
-                    "consistency": expected_consistency(
-                        p_loss, p_death, LAMBDA_KBPS, MU_KBPS
-                    ),
-                }
-            )
+    cells = [
+        {"p_death": p_death, "loss_rates": loss_rates}
+        for p_death in DEATH_RATES
+    ]
+    rows = [row for curve in run_cells(_cell, cells, jobs=jobs) for row in curve]
     return ExperimentResult(
         experiment_id="figure3",
         title="Consistency vs loss rate, per announcement death rate",

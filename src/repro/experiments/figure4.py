@@ -7,19 +7,17 @@ receiver already holds.
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.analysis import redundant_bandwidth_fraction
-from repro.experiments.common import ExperimentResult, sweep_points
+from repro.experiments.common import ExperimentResult, Row, run_cells, sweep_points
 
 DEATH_RATES = [0.10, 0.25, 0.50]
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
-    loss_rates = sweep_points(
-        quick,
-        full=[round(0.02 * i, 2) for i in range(0, 50)],
-        reduced=[0.0, 0.1, 0.2, 0.4, 0.6, 0.8],
-    )
-    rows = [
+def _cell(p_death: float, loss_rates: List[float]) -> List[Row]:
+    """One death-rate curve of the redundancy closed form."""
+    return [
         {
             "p_death": p_death,
             "p_loss": p_loss,
@@ -27,9 +25,21 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
                 p_loss, p_death
             ),
         }
-        for p_death in DEATH_RATES
         for p_loss in loss_rates
     ]
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+    loss_rates = sweep_points(
+        quick,
+        full=[round(0.02 * i, 2) for i in range(0, 50)],
+        reduced=[0.0, 0.1, 0.2, 0.4, 0.6, 0.8],
+    )
+    cells = [
+        {"p_death": p_death, "loss_rates": loss_rates}
+        for p_death in DEATH_RATES
+    ]
+    rows = [row for curve in run_cells(_cell, cells, jobs=jobs) for row in curve]
     return ExperimentResult(
         experiment_id="figure4",
         title="Fraction of bandwidth spent on redundant retransmissions",

@@ -10,7 +10,14 @@ significant impact".  Improvement over single-queue open loop is
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, horizon_for, sweep_points
+from typing import Optional
+
+from repro.experiments.common import (
+    ExperimentResult,
+    horizon_for,
+    run_cells,
+    sweep_points,
+)
 from repro.protocols import OpenLoopSession, TwoQueueSession
 
 MU_DATA = 45.0
@@ -19,7 +26,29 @@ LIFETIME_MEAN = 20.0
 LOSS_RATES = [0.1, 0.3, 0.5]
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def _cell(
+    loss: float,
+    hot_share: Optional[float],
+    horizon: float,
+    warmup: float,
+    seed: int,
+) -> float:
+    """One session's consistency; ``hot_share=None`` is the open-loop baseline."""
+    common = dict(
+        data_kbps=MU_DATA,
+        loss_rate=loss,
+        update_rate=LAMBDA,
+        lifetime_mean=LIFETIME_MEAN,
+        seed=seed,
+    )
+    if hot_share is None:
+        session = OpenLoopSession(**common)
+    else:
+        session = TwoQueueSession(hot_share=hot_share, **common)
+    return session.run(horizon=horizon, warmup=warmup).consistency
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     horizon = horizon_for(quick, full=600.0, reduced=150.0)
     warmup = horizon / 5.0
     hot_shares = sweep_points(
@@ -27,32 +56,31 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         full=[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
         reduced=[0.1, 0.4, 0.7],
     )
+    cells = [
+        {
+            "loss": loss,
+            "hot_share": hot_share,
+            "horizon": horizon,
+            "warmup": warmup,
+            "seed": seed,
+        }
+        for loss in LOSS_RATES
+        for hot_share in [None] + list(hot_shares)
+    ]
+    consistencies = iter(run_cells(_cell, cells, jobs=jobs))
     rows = []
     for loss in LOSS_RATES:
-        baseline = OpenLoopSession(
-            data_kbps=MU_DATA,
-            loss_rate=loss,
-            update_rate=LAMBDA,
-            lifetime_mean=LIFETIME_MEAN,
-            seed=seed,
-        ).run(horizon=horizon, warmup=warmup)
+        baseline = next(consistencies)
         for hot_share in hot_shares:
-            result = TwoQueueSession(
-                hot_share=hot_share,
-                data_kbps=MU_DATA,
-                loss_rate=loss,
-                update_rate=LAMBDA,
-                lifetime_mean=LIFETIME_MEAN,
-                seed=seed,
-            ).run(horizon=horizon, warmup=warmup)
+            consistency = next(consistencies)
             rows.append(
                 {
                     "loss": loss,
                     "hot_share": hot_share,
                     "mu_hot_kbps": round(hot_share * MU_DATA, 1),
-                    "consistency": result.consistency,
-                    "open_loop_baseline": baseline.consistency,
-                    "gain": result.consistency - baseline.consistency,
+                    "consistency": consistency,
+                    "open_loop_baseline": baseline,
+                    "gain": consistency - baseline,
                 }
             )
     return ExperimentResult(

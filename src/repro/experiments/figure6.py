@@ -16,7 +16,13 @@ turning off background retransmissions is a false economy.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, horizon_for, sweep_points
+from repro.experiments.common import (
+    ExperimentResult,
+    Row,
+    horizon_for,
+    run_cells,
+    sweep_points,
+)
 from repro.protocols import RateCappedTwoQueueSession
 
 LAMBDA = 1.5
@@ -25,7 +31,26 @@ LIFETIME_MEAN = 120.0
 LOSS_RATE = 0.3
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def _cell(ratio: float, horizon: float, warmup: float, seed: int) -> Row:
+    """One rate-capped session at a given cold/hot bandwidth ratio."""
+    result = RateCappedTwoQueueSession(
+        hot_kbps=MU_HOT,
+        cold_kbps=ratio * MU_HOT,
+        loss_rate=LOSS_RATE,
+        update_rate=LAMBDA,
+        lifetime_mean=LIFETIME_MEAN,
+        seed=seed,
+    ).run(horizon=horizon, warmup=warmup)
+    return {
+        "cold_over_hot": ratio,
+        "mu_cold_kbps": round(ratio * MU_HOT, 3),
+        "receive_latency_s": result.mean_receive_latency,
+        "latency_p95_s": result.latency_p95,
+        "consistency": result.consistency,
+    }
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     horizon = horizon_for(quick, full=1500.0, reduced=400.0)
     warmup = horizon / 7.5
     cold_over_hot = sweep_points(
@@ -33,25 +58,11 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         full=[0.005, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0, 1.5, 2.0, 3.0],
         reduced=[0.005, 0.3, 3.0],
     )
-    rows = []
-    for ratio in cold_over_hot:
-        result = RateCappedTwoQueueSession(
-            hot_kbps=MU_HOT,
-            cold_kbps=ratio * MU_HOT,
-            loss_rate=LOSS_RATE,
-            update_rate=LAMBDA,
-            lifetime_mean=LIFETIME_MEAN,
-            seed=seed,
-        ).run(horizon=horizon, warmup=warmup)
-        rows.append(
-            {
-                "cold_over_hot": ratio,
-                "mu_cold_kbps": round(ratio * MU_HOT, 3),
-                "receive_latency_s": result.mean_receive_latency,
-                "latency_p95_s": result.latency_p95,
-                "consistency": result.consistency,
-            }
-        )
+    cells = [
+        {"ratio": ratio, "horizon": horizon, "warmup": warmup, "seed": seed}
+        for ratio in cold_over_hot
+    ]
+    rows = run_cells(_cell, cells, jobs=jobs)
     return ExperimentResult(
         experiment_id="figure6",
         title="Receive latency vs mu_cold/mu_hot (rate-capped queues)",

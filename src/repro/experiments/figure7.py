@@ -9,14 +9,15 @@ edge fires in practice.
 from __future__ import annotations
 
 from collections import Counter
+from typing import List, Tuple
 
-from repro.experiments.common import ExperimentResult, horizon_for
+from repro.experiments.common import ExperimentResult, Row, horizon_for, run_cells
 from repro.protocols import FeedbackSession
 from repro.protocols.states import ascii_diagram
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
-    horizon = horizon_for(quick, full=300.0, reduced=80.0)
+def _cell(horizon: float, seed: int) -> Tuple[List[Row], int]:
+    """Run the audited session; return (edge-count rows, records audited)."""
     session = FeedbackSession(
         hot_share=0.7,
         data_kbps=36.0,
@@ -49,11 +50,19 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
             edge_counts.items(), key=lambda kv: -kv[1]
         )
     ]
+    return rows, len(graveyard)
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+    horizon = horizon_for(quick, full=300.0, reduced=80.0)
+    (rows, audited), = run_cells(
+        _cell, [{"horizon": horizon, "seed": seed}], jobs=jobs
+    )
     return ExperimentResult(
         experiment_id="figure7",
         title="Hot/cold/dead state machine: edge visit counts",
         rows=rows,
-        parameters={"records_audited": len(graveyard)},
+        parameters={"records_audited": audited},
         notes="Diagram:\n" + ascii_diagram(),
     )
 

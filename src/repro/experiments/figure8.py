@@ -12,7 +12,15 @@ clamped to [0.4, 0.95] — the allocator's rule.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, horizon_for, sweep_points
+from typing import List
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Row,
+    horizon_for,
+    run_cells,
+    sweep_points,
+)
 from repro.protocols import FeedbackSession, TwoQueueSession
 
 LAMBDA = 15.0
@@ -54,38 +62,48 @@ def build_session(fb_fraction: float, seed: int, loss: float = LOSS,
     )
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def _cell(fb: float, horizon: float, warmup: float, seed: int) -> List[Row]:
+    """One feedback share's sampled running-consistency series."""
+    sample_count = 8
+    session = build_session(fb, seed)
+    result = session.run(horizon=horizon, warmup=warmup)
+    series = result.consistency_series
+    if series:
+        step = max(len(series) // sample_count, 1)
+        samples = series[::step][:sample_count]
+    else:
+        samples = []
+    rows = [
+        {
+            "fb_share": fb,
+            "time_s": round(t, 1),
+            "running_consistency": value,
+        }
+        for t, value in samples
+    ]
+    rows.append(
+        {
+            "fb_share": fb,
+            "time_s": round(horizon, 1),
+            "running_consistency": result.consistency,
+        }
+    )
+    return rows
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     horizon = horizon_for(quick, full=1000.0, reduced=200.0)
     warmup = horizon / 10.0
     fb_fractions = sweep_points(
         quick, full=[0.0, 0.1, 0.2, 0.3, 0.5, 0.7], reduced=[0.0, 0.2, 0.7]
     )
-    sample_count = 8
-    rows = []
-    for fb in fb_fractions:
-        session = build_session(fb, seed)
-        result = session.run(horizon=horizon, warmup=warmup)
-        series = result.consistency_series
-        if series:
-            step = max(len(series) // sample_count, 1)
-            samples = series[::step][:sample_count]
-        else:
-            samples = []
-        for t, value in samples:
-            rows.append(
-                {
-                    "fb_share": fb,
-                    "time_s": round(t, 1),
-                    "running_consistency": value,
-                }
-            )
-        rows.append(
-            {
-                "fb_share": fb,
-                "time_s": round(horizon, 1),
-                "running_consistency": result.consistency,
-            }
-        )
+    cells = [
+        {"fb": fb, "horizon": horizon, "warmup": warmup, "seed": seed}
+        for fb in fb_fractions
+    ]
+    rows = [
+        row for curve in run_cells(_cell, cells, jobs=jobs) for row in curve
+    ]
     return ExperimentResult(
         experiment_id="figure8",
         title="Running consistency over time per feedback share",

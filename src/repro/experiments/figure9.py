@@ -9,14 +9,30 @@ allocator's consistency profile (``as_profile``).
 
 from __future__ import annotations
 
+from typing import Dict
+
 from repro.core import ConsistencyProfile, ProfilePoint
-from repro.experiments.common import ExperimentResult, horizon_for, sweep_points
+from repro.experiments.common import (
+    ExperimentResult,
+    horizon_for,
+    run_cells,
+    sweep_points,
+)
 from repro.experiments.figure8 import LAMBDA, LIFETIME_MEAN, MU_TOTAL, build_session
 
 LOSS_RATES = [0.1, 0.3, 0.5]
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def _cell(
+    loss: float, fb: float, horizon: float, warmup: float, seed: int
+) -> Dict[str, float]:
+    """One (loss, feedback-share) session's consistency and NACK count."""
+    session = build_session(fb, seed, loss=loss, record_series=False)
+    result = session.run(horizon=horizon, warmup=warmup)
+    return {"consistency": result.consistency, "nacks": result.nacks_sent}
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     horizon = horizon_for(quick, full=600.0, reduced=150.0)
     warmup = horizon / 5.0
     fb_fractions = sweep_points(
@@ -24,25 +40,36 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         full=[0.0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7],
         reduced=[0.0, 0.1, 0.5],
     )
+    cells = [
+        {
+            "loss": loss,
+            "fb": fb,
+            "horizon": horizon,
+            "warmup": warmup,
+            "seed": seed,
+        }
+        for loss in LOSS_RATES
+        for fb in fb_fractions
+    ]
+    measured = iter(run_cells(_cell, cells, jobs=jobs))
     rows = []
     for loss in LOSS_RATES:
         baseline = None
         for fb in fb_fractions:
-            session = build_session(fb, seed, loss=loss, record_series=False)
-            result = session.run(horizon=horizon, warmup=warmup)
+            point = next(measured)
             if fb == 0.0:
-                baseline = result.consistency
+                baseline = point["consistency"]
             rows.append(
                 {
                     "loss": loss,
                     "fb_share": fb,
-                    "consistency": result.consistency,
+                    "consistency": point["consistency"],
                     "gain_vs_open_loop": (
-                        result.consistency - baseline
+                        point["consistency"] - baseline
                         if baseline is not None
                         else 0.0
                     ),
-                    "nacks": result.nacks_sent,
+                    "nacks": point["nacks"],
                 }
             )
     return ExperimentResult(

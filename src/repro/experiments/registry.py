@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import os
+from typing import Callable, Dict, Optional
 
 from repro.experiments import (
     ext_convergence,
@@ -41,9 +42,20 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 
 
 def run_experiment(
-    experiment_id: str, quick: bool = False, seed: int = 0
+    experiment_id: str,
+    quick: bool = False,
+    seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
-    """Run one experiment by id (e.g. "figure8")."""
+    """Run one experiment by id (e.g. "figure8").
+
+    ``jobs`` controls the parallel cell runner: 1 is sequential, N > 1
+    fans the experiment's independent cells over a process pool, and 0
+    means one worker per CPU.  When omitted, the ``REPRO_JOBS``
+    environment variable applies (default 1), so callers that predate
+    the runner — the benchmarks in particular — pick it up for free.
+    Output is byte-identical at any job count.
+    """
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -51,4 +63,6 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; "
             f"choose from {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(quick=quick, seed=seed)
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    return runner(quick=quick, seed=seed, jobs=jobs)

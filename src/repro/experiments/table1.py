@@ -7,17 +7,18 @@ to within sampling noise.
 
 from __future__ import annotations
 
+from typing import Dict
+
 from repro.analysis import transition_matrix
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_cells
 from repro.protocols import QueueModelSim
 
 P_LOSS = 0.2
 P_DEATH = 0.25
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
-    horizon = 500.0 if quick else 5000.0
-    analytic = transition_matrix(P_LOSS, P_DEATH)
+def _cell(horizon: float, seed: int) -> Dict[str, Dict[str, float]]:
+    """The queue-model simulation's empirical transition frequencies."""
     sim = QueueModelSim(
         update_rate=2.0,
         channel_rate=16.0,
@@ -25,7 +26,15 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         p_death=P_DEATH,
         seed=seed,
     ).run(horizon=horizon)
-    empirical = sim.transition_probabilities()
+    return sim.transition_probabilities()
+
+
+def run(quick: bool = False, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+    horizon = 500.0 if quick else 5000.0
+    analytic = transition_matrix(P_LOSS, P_DEATH)
+    (empirical,) = run_cells(
+        _cell, [{"horizon": horizon, "seed": seed}], jobs=jobs
+    )
     label = {"inconsistent": "I", "consistent": "C"}
     rows = []
     for source in ("inconsistent", "consistent"):

@@ -159,6 +159,11 @@ class SoftStateReceiver:
                 existing.hold_time = self._hold_time(
                     key, payload["expires_at"]
                 )
+                # Direct timer shrink bypasses put(); keep the table's
+                # lazy-expiry bound conservative.
+                self.table.bound_expiry(
+                    existing.last_refreshed + existing.hold_time
+                )
         else:
             self.table.put(
                 key,

@@ -57,6 +57,17 @@ def test_event_trigger_copies_failure():
     env._queue.clear()  # drop the scheduled failures
 
 
+def test_trigger_from_untriggered_event_raises():
+    # Chaining from a pending event used to propagate PENDING as a value
+    # (with ``_ok is None`` silently read as failure); now it is an error.
+    env = Environment()
+    source = env.event()
+    mirror = env.event()
+    with pytest.raises(SimulationError):
+        mirror.trigger(source)
+    assert not mirror.triggered
+
+
 def test_value_before_trigger_raises():
     env = Environment()
     event = env.event()
