@@ -13,7 +13,13 @@
 
 from repro.core.record import Record, SoftStateTable
 from repro.core.consistency import ConsistencyMeter
-from repro.core.metrics import BandwidthLedger, LatencyRecorder
+from repro.core.metrics import (
+    BandwidthLedger,
+    FaultReport,
+    FaultWindow,
+    LatencyRecorder,
+    RecoveryTracker,
+)
 from repro.core.profiles import (
     ConsistencyProfile,
     LatencyPoint,
@@ -25,10 +31,13 @@ __all__ = [
     "BandwidthLedger",
     "ConsistencyMeter",
     "ConsistencyProfile",
+    "FaultReport",
+    "FaultWindow",
     "LatencyPoint",
     "LatencyProfile",
     "LatencyRecorder",
     "ProfilePoint",
     "Record",
+    "RecoveryTracker",
     "SoftStateTable",
 ]

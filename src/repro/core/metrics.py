@@ -1,4 +1,4 @@
-"""Receive latency and bandwidth accounting.
+"""Receive latency, bandwidth accounting, and fault-recovery metrics.
 
 The paper's second metric (Section 2.1) is the receive latency T_recv:
 the time from the instant a new or updated {key, value} pair enters the
@@ -6,11 +6,19 @@ system until a receiver first holds it.  Its bandwidth discussion
 (Figure 4 and Sections 4-6) distinguishes useful transmissions (a datum
 the receiver did not have) from redundant retransmissions and from
 feedback traffic; :class:`BandwidthLedger` keeps those books.
+
+:class:`RecoveryTracker` quantifies the paper's *robustness* claim —
+that soft-state sessions re-converge automatically after failures — by
+annotating the consistency time series with fault windows and deriving,
+per fault, the time to re-consistency, the stale-read exposure, and the
+false-expiry count (the scalable-timers trade-off: receiver state aged
+out while the sender was merely crashed, not dead).
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 
@@ -137,3 +145,178 @@ class BandwidthLedger:
 
     def as_dict(self) -> Dict[str, float]:
         return dict(self._bits)
+
+
+@dataclass
+class FaultWindow:
+    """One fault's active interval on the simulation clock."""
+
+    label: str
+    kind: str
+    start: float
+    end: float
+
+    def covers(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass
+class FaultReport:
+    """Recovery analysis for one fault window.
+
+    ``baseline`` is the time-averaged consistency over the interval just
+    before the fault; recovery means returning to within ``tolerance``
+    of it (``recovered_at`` is the first post-heal sample at or above
+    ``baseline * (1 - tolerance)``, and ``recovery_s`` counts from the
+    moment the fault healed).  ``stale_read_s`` integrates (1 - c) from
+    fault onset to recovery: the expected time a uniformly random read
+    during the episode would have returned stale or missing data.
+    """
+
+    label: str
+    kind: str
+    start: float
+    end: float
+    baseline: float
+    min_consistency: float
+    recovered_at: float
+    recovery_s: float
+    stale_read_s: float
+    false_expiries: int
+
+
+class RecoveryTracker:
+    """Fault windows, false-expiry events, and per-fault recovery stats.
+
+    A session with a fault schedule owns one tracker: the injector
+    registers a :class:`FaultWindow` per armed fault, the session feeds
+    receiver-side expirations through :meth:`note_false_expiry`, and
+    :meth:`analyze` turns the run's raw consistency series into one
+    :class:`FaultReport` per window.
+    """
+
+    def __init__(
+        self, tolerance: float = 0.05, baseline_window: float = 20.0
+    ) -> None:
+        if not 0.0 < tolerance < 1.0:
+            raise ValueError(f"tolerance must be in (0, 1), got {tolerance}")
+        if baseline_window <= 0:
+            raise ValueError(
+                f"baseline_window must be positive, got {baseline_window}"
+            )
+        self.tolerance = tolerance
+        self.baseline_window = baseline_window
+        self.windows: List[FaultWindow] = []
+        self.false_expiry_events: List[Tuple[float, Any]] = []
+
+    # -- recording -----------------------------------------------------------
+    def add_window(
+        self, label: str, start: float, end: float, kind: str = "fault"
+    ) -> FaultWindow:
+        if end < start:
+            raise ValueError(f"window ends ({end}) before it starts ({start})")
+        window = FaultWindow(label=label, kind=kind, start=start, end=end)
+        self.windows.append(window)
+        return window
+
+    def note_false_expiry(self, now: float, key: Any) -> None:
+        """A receiver's copy aged out while the publisher still held it."""
+        self.false_expiry_events.append((now, key))
+
+    @property
+    def false_expiries(self) -> int:
+        return len(self.false_expiry_events)
+
+    def sender_down(self, now: float) -> bool:
+        """Is any sender-crash window active at ``now``?"""
+        return any(
+            w.kind == "sender-crash" and w.covers(now) for w in self.windows
+        )
+
+    # -- analysis ------------------------------------------------------------
+    def annotate(
+        self, series: List[Tuple[float, float]]
+    ) -> List[Tuple[float, float, str]]:
+        """The consistency series with active-fault labels attached."""
+        annotated = []
+        for t, c in series:
+            active = ",".join(w.label for w in self.windows if w.covers(t))
+            annotated.append((t, c, active))
+        return annotated
+
+    def analyze(
+        self, series: List[Tuple[float, float]]
+    ) -> List[FaultReport]:
+        """One :class:`FaultReport` per window, in registration order."""
+        return [self._report(window, series) for window in self.windows]
+
+    def _report(
+        self, window: FaultWindow, series: List[Tuple[float, float]]
+    ) -> FaultReport:
+        baseline = _time_average(
+            series, window.start - self.baseline_window, window.start
+        )
+        threshold = baseline * (1.0 - self.tolerance)
+        recovered_at = math.nan
+        if not math.isnan(threshold):
+            for t, c in series:
+                if t >= window.end and c >= threshold:
+                    recovered_at = t
+                    break
+        last_t = series[-1][0] if series else window.end
+        upper = recovered_at if not math.isnan(recovered_at) else last_t
+        in_window = [c for t, c in series if window.start <= t <= upper]
+        return FaultReport(
+            label=window.label,
+            kind=window.kind,
+            start=window.start,
+            end=window.end,
+            baseline=baseline,
+            min_consistency=min(in_window) if in_window else math.nan,
+            recovered_at=recovered_at,
+            recovery_s=(
+                recovered_at - window.end
+                if not math.isnan(recovered_at)
+                else math.nan
+            ),
+            stale_read_s=_staleness_integral(series, window.start, upper),
+            false_expiries=sum(
+                1
+                for t, _ in self.false_expiry_events
+                if window.start <= t <= upper
+            ),
+        )
+
+
+def _time_average(
+    series: List[Tuple[float, float]], t0: float, t1: float
+) -> float:
+    """Piecewise-constant time average of a sampled series over [t0, t1]."""
+    if t1 <= t0:
+        return math.nan
+    total = 0.0
+    covered = 0.0
+    for i, (t, c) in enumerate(series):
+        t_next = series[i + 1][0] if i + 1 < len(series) else t1
+        lo = max(t, t0)
+        hi = min(t_next, t1)
+        if hi > lo:
+            total += c * (hi - lo)
+            covered += hi - lo
+    return total / covered if covered > 0 else math.nan
+
+
+def _staleness_integral(
+    series: List[Tuple[float, float]], t0: float, t1: float
+) -> float:
+    """Integral of (1 - c) over [t0, t1], piecewise constant."""
+    if t1 <= t0:
+        return 0.0
+    total = 0.0
+    for i, (t, c) in enumerate(series):
+        t_next = series[i + 1][0] if i + 1 < len(series) else t1
+        lo = max(t, t0)
+        hi = min(t_next, t1)
+        if hi > lo:
+            total += (1.0 - c) * (hi - lo)
+    return total

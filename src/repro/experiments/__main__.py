@@ -78,6 +78,7 @@ _CHART_AXES = {
     "figure10": ("hot_share", "consistency", None),
     "figure11": ("hot_share", "consistency", "loss"),
     "ext_suppression": ("group_size", "nacks_vs_n1", None),
+    "ext_resilience": ("multiple", "recovery_s", "protocol"),
 }
 
 

@@ -8,6 +8,7 @@ from typing import Callable, Dict, Optional
 from repro.experiments import (
     ext_convergence,
     ext_gateway,
+    ext_resilience,
     ext_suppression,
     figure3,
     figure4,
@@ -38,6 +39,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext_suppression": ext_suppression.run,
     "ext_convergence": ext_convergence.run,
     "ext_gateway": ext_gateway.run,
+    "ext_resilience": ext_resilience.run,
 }
 
 

@@ -26,9 +26,37 @@ import multiprocessing
 import os
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-__all__ = ["map_cells", "resolve_jobs"]
+__all__ = ["CellError", "map_cells", "resolve_jobs"]
 
 Cell = Dict[str, Any]
+
+
+class CellError(RuntimeError):
+    """A cell function raised: carries *which* cell failed.
+
+    A bare worker traceback from a 48-cell sweep is useless without the
+    ``(experiment, params, seed)`` identity of the failing cell, so
+    :func:`map_cells` wraps every failure with that identity.  The
+    original exception is chained as ``__cause__`` (sequentially the
+    exception object itself; across a pool, the pickled remote
+    traceback).
+    """
+
+
+def _cell_identity(fn: Callable[..., Any], index: int, kwargs: Cell) -> str:
+    params = ", ".join(f"{k}={v!r}" for k, v in sorted(kwargs.items()))
+    return (
+        f"cell {index} = {fn.__module__}.{fn.__qualname__}({params})"
+    )
+
+
+def _run_cell(fn: Callable[..., Any], index: int, kwargs: Cell) -> Any:
+    try:
+        return fn(**kwargs)
+    except Exception as exc:
+        raise CellError(
+            f"{_cell_identity(fn, index, kwargs)} failed: {exc!r}"
+        ) from exc
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -43,8 +71,8 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 def _invoke(payload: tuple) -> Any:
     """Pool entry point: apply ``fn`` to one cell's keyword arguments."""
-    fn, kwargs = payload
-    return fn(**kwargs)
+    fn, index, kwargs = payload
+    return _run_cell(fn, index, kwargs)
 
 
 def map_cells(
@@ -61,12 +89,18 @@ def map_cells(
     jobs = resolve_jobs(jobs)
     cells = list(cells)
     if jobs <= 1 or len(cells) <= 1:
-        return [fn(**cell) for cell in cells]
+        return [
+            _run_cell(fn, index, cell) for index, cell in enumerate(cells)
+        ]
 
     workers = min(jobs, len(cells))
     context = _pool_context()
     with context.Pool(processes=workers) as pool:
-        return pool.map(_invoke, [(fn, cell) for cell in cells], chunksize=1)
+        return pool.map(
+            _invoke,
+            [(fn, index, cell) for index, cell in enumerate(cells)],
+            chunksize=1,
+        )
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:

@@ -1,0 +1,43 @@
+"""Fault injection for soft-state sessions.
+
+The paper's central systems claim is *robustness*: because soft state is
+periodically announced and silently expires, a session recovers from
+sender crashes, receiver churn, outages, and partitions without any
+explicit repair machinery.  This package makes that claim testable.
+Build a :class:`FaultSchedule`, pass it to any session's ``faults=``
+parameter, and the run comes back with per-fault
+:class:`~repro.core.metrics.FaultReport` recovery statistics::
+
+    from repro.faults import FaultSchedule, SenderCrash
+    from repro.protocols import TwoQueueSession
+
+    schedule = FaultSchedule([SenderCrash(at=80.0, down_for=10.0)])
+    session = TwoQueueSession(data_kbps=50.0, update_rate=2.0,
+                              loss_rate=0.2, seed=1, faults=schedule)
+    result = session.run(horizon=200.0)
+    print(result.fault_reports[0].recovery_s)
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import (
+    Fault,
+    FaultSchedule,
+    LinkOutage,
+    LossEpisode,
+    Partition,
+    ReceiverChurn,
+    SenderCrash,
+    sender_side,
+)
+
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "FaultSchedule",
+    "LinkOutage",
+    "LossEpisode",
+    "Partition",
+    "ReceiverChurn",
+    "SenderCrash",
+    "sender_side",
+]

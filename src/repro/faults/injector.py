@@ -1,0 +1,60 @@
+"""The injector: arms a :class:`FaultSchedule` on a running session.
+
+One injector per session run.  It spawns each fault's ``run`` generator
+as a kernel process, hands faults deterministic RNG substreams derived
+from the session's seed (so fault randomness never perturbs workload or
+loss draws), and forwards fault windows to the session's
+:class:`~repro.core.metrics.RecoveryTracker`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Optional
+
+from repro.core.metrics import FaultWindow, RecoveryTracker
+from repro.faults.schedule import Fault, FaultSchedule
+
+
+class FaultInjector:
+    """Arms every fault in a schedule as its own simulation process."""
+
+    def __init__(
+        self,
+        session,
+        schedule: FaultSchedule,
+        tracker: Optional[RecoveryTracker] = None,
+    ) -> None:
+        self.session = session
+        self.env = session.env
+        self.schedule = schedule
+        self.tracker = tracker
+        # A dedicated substream family: faults draw their randomness here,
+        # so adding a fault never shifts the session's other streams.
+        self.rng = session.rng.spawn("faults")
+        self._counter = itertools.count()
+
+    def stream(self, name: str) -> random.Random:
+        """A named deterministic substream for a fault's own draws."""
+        return self.rng[name]
+
+    def next_rng(self) -> random.Random:
+        """A fresh numbered substream (overlay loss chains, etc.)."""
+        return self.rng[f"overlay-{next(self._counter)}"]
+
+    def start(self) -> None:
+        """Spawn one kernel process per scheduled fault."""
+        for fault in self.schedule:
+            self.env.process(self._arm(fault))
+
+    def _arm(self, fault: Fault):
+        yield from fault.run(self)
+
+    def add_window(
+        self, label: str, start: float, end: float, kind: str
+    ) -> Optional[FaultWindow]:
+        """Record a fault's active interval on the session's tracker."""
+        if self.tracker is None:
+            return None
+        return self.tracker.add_window(label, start, end, kind)

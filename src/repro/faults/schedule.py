@@ -1,0 +1,316 @@
+"""The fault vocabulary: scripted and stochastic failures on the DES clock.
+
+The paper's robustness argument (Section 7) is that soft-state sessions
+degrade gracefully and re-converge automatically after failures:
+announcements simply resume, and stale state ages out.  This module
+supplies the failures.  Each :class:`Fault` is armed as its own kernel
+process by the :class:`~repro.faults.injector.FaultInjector`, sleeps on
+the simulation clock until its trigger time, and then drives the session
+through a small duck-typed hook surface (``fault_crash_sender``,
+``fault_outage_begin``/``end``, ``fault_receiver_leave``/``rejoin``,
+``fault_partition_begin``/``end``, ``fault_loss_overlay``/``restore``).
+A session that lacks a hook rejects the fault with a clear error instead
+of silently ignoring it.
+
+Faults register :class:`~repro.core.metrics.FaultWindow` annotations on
+the session's :class:`~repro.core.metrics.RecoveryTracker`, so every run
+with a schedule yields per-fault recovery reports for free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Set
+
+from repro.des import SimulationError
+from repro.net import GilbertElliottLoss
+
+
+def sender_side(groups: Sequence[Iterable[Any]]) -> Set[Any]:
+    """The partition group the sender belongs to.
+
+    A group containing the member id ``"sender"`` wins; otherwise the
+    first group is taken to be the sender's side — everyone else is cut
+    off from the data source until the partition heals.
+    """
+    materialized = [set(group) for group in groups]
+    for group in materialized:
+        if "sender" in group:
+            return group
+    return materialized[0] if materialized else set()
+
+
+class Fault:
+    """One failure scenario, armed as a kernel process on a session."""
+
+    label: str = "fault"
+    kind: str = "fault"
+
+    def run(self, injector):
+        """Generator body executed as a simulation process."""
+        raise NotImplementedError
+
+    def _hook(self, session, name: str) -> Callable[..., Any]:
+        hook = getattr(session, name, None)
+        if hook is None:
+            raise SimulationError(
+                f"{type(session).__name__} does not support "
+                f"{type(self).__name__}: it has no {name}() hook"
+            )
+        return hook
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.label}>"
+
+
+class SenderCrash(Fault):
+    """The publisher's announcement engine dies at ``at`` for ``down_for``.
+
+    The application keeps evolving its table (a store whose replication
+    daemon crashed), but nothing is transmitted until the restart.  A
+    warm restart (default) comes back with the table intact and rescans
+    it into the transmission queues; ``cold=True`` loses the table —
+    only data published after the restart exists.
+    """
+
+    kind = "sender-crash"
+
+    def __init__(self, at: float, down_for: float, cold: bool = False) -> None:
+        if at < 0:
+            raise ValueError(f"at must be non-negative, got {at}")
+        if down_for <= 0:
+            raise ValueError(f"down_for must be positive, got {down_for}")
+        self.at = at
+        self.down_for = down_for
+        self.cold = cold
+        self.label = f"{'cold-' if cold else ''}crash@{at:g}"
+
+    def run(self, injector):
+        yield injector.env.timeout(self.at)
+        crash = self._hook(injector.session, "fault_crash_sender")
+        now = injector.env.now
+        injector.add_window(self.label, now, now + self.down_for, self.kind)
+        crash(self)
+
+
+class LinkOutage(Fault):
+    """Every channel of the session drops to 100% loss, then recovers.
+
+    The original loss models are restored untouched when the outage
+    ends, so the post-fault loss sequence continues exactly where it
+    left off.
+    """
+
+    kind = "link-outage"
+
+    def __init__(self, at: float, duration: float) -> None:
+        if at < 0:
+            raise ValueError(f"at must be non-negative, got {at}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        self.at = at
+        self.duration = duration
+        self.label = f"outage@{at:g}"
+
+    def run(self, injector):
+        yield injector.env.timeout(self.at)
+        session = injector.session
+        begin = self._hook(session, "fault_outage_begin")
+        end = self._hook(session, "fault_outage_end")
+        now = injector.env.now
+        injector.add_window(self.label, now, now + self.duration, self.kind)
+        token = begin()
+        yield injector.env.timeout(self.duration)
+        end(token)
+
+
+class LossEpisode(Fault):
+    """A temporary Gilbert-Elliott burst overlay on the data path.
+
+    For ``duration`` seconds the data channels lose packets to *both*
+    their configured model and a bursty episode chain (mean loss
+    ``mean_loss``, mean burst length ``burst_length`` packets); when the
+    episode ends the original models are restored exactly.
+    """
+
+    kind = "loss-episode"
+
+    def __init__(
+        self,
+        at: float,
+        duration: float,
+        mean_loss: float = 0.5,
+        burst_length: float = 5.0,
+    ) -> None:
+        if at < 0:
+            raise ValueError(f"at must be non-negative, got {at}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        self.at = at
+        self.duration = duration
+        self.mean_loss = mean_loss
+        self.burst_length = burst_length
+        self.label = f"loss-episode@{at:g}"
+
+    def run(self, injector):
+        yield injector.env.timeout(self.at)
+        session = injector.session
+        overlay = self._hook(session, "fault_loss_overlay")
+        restore = self._hook(session, "fault_loss_restore")
+        now = injector.env.now
+        injector.add_window(self.label, now, now + self.duration, self.kind)
+
+        def make_model():
+            # One chain per overlaid channel, each on its own substream.
+            return GilbertElliottLoss.with_mean(
+                self.mean_loss, self.burst_length, rng=injector.next_rng()
+            )
+
+        token = overlay(make_model)
+        yield injector.env.timeout(self.duration)
+        restore(token)
+
+
+class ReceiverChurn(Fault):
+    """Receivers leave and rejoin at exponential rate ``rate``.
+
+    Each churn event picks a uniformly random currently-up receiver,
+    takes it down for an exponential time with mean ``down_mean``, and
+    rejoins it.  ``cold=True`` (the default) models a crash: the
+    receiver's mirrored state is lost and must be relearned from the
+    announcement stream — the late-joiner scenario the paper credits
+    periodic retransmission with handling for free.
+    """
+
+    kind = "receiver-churn"
+
+    def __init__(
+        self,
+        rate: float,
+        down_mean: float = 5.0,
+        cold: bool = True,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+        receivers: Optional[Sequence[Any]] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if down_mean <= 0:
+            raise ValueError(f"down_mean must be positive, got {down_mean}")
+        if start < 0:
+            raise ValueError(f"start must be non-negative, got {start}")
+        if stop is not None and stop <= start:
+            raise ValueError(f"stop ({stop}) must exceed start ({start})")
+        self.rate = rate
+        self.down_mean = down_mean
+        self.cold = cold
+        self.start = start
+        self.stop = stop
+        self.receivers = list(receivers) if receivers is not None else None
+        self.label = f"churn(rate={rate:g})"
+
+    def run(self, injector):
+        env = injector.env
+        session = injector.session
+        leave = self._hook(session, "fault_receiver_leave")
+        rejoin = self._hook(session, "fault_receiver_rejoin")
+        ids = self._hook(session, "fault_receiver_ids")
+        rng = injector.stream("churn")
+        down: Set[Any] = set()
+        if self.start > 0:
+            yield env.timeout(self.start)
+        while True:
+            yield env.timeout(rng.expovariate(self.rate))
+            now = env.now
+            if self.stop is not None and now >= self.stop:
+                return
+            pool = self.receivers if self.receivers is not None else ids()
+            candidates = [rid for rid in pool if rid not in down]
+            if not candidates:
+                continue
+            receiver_id = rng.choice(candidates)
+            down_for = rng.expovariate(1.0 / self.down_mean)
+            injector.add_window(
+                f"churn:{receiver_id}@{now:.1f}",
+                now,
+                now + down_for,
+                self.kind,
+            )
+            down.add(receiver_id)
+            leave(receiver_id, cold=self.cold)
+            env.process(self._rejoin_later(env, receiver_id, down_for, rejoin, down))
+
+    def _rejoin_later(self, env, receiver_id, down_for, rejoin, down):
+        yield env.timeout(down_for)
+        rejoin(receiver_id)
+        down.discard(receiver_id)
+
+
+class Partition(Fault):
+    """Split the topology into ``groups`` at ``at``; heal at ``heal_at``.
+
+    ``groups`` is an iterable of member-id groups; the group containing
+    ``"sender"`` (else the first) keeps the data source, and members of
+    every other group neither receive announcements nor reach the sender
+    with feedback until the partition heals.  Partitioned receivers stay
+    members — unlike churn they keep their state and simply age.
+    """
+
+    kind = "partition"
+
+    def __init__(
+        self, groups: Sequence[Iterable[Any]], at: float, heal_at: float
+    ) -> None:
+        if at < 0:
+            raise ValueError(f"at must be non-negative, got {at}")
+        if heal_at <= at:
+            raise ValueError(f"heal_at ({heal_at}) must exceed at ({at})")
+        self.groups: List[Set[Any]] = [set(group) for group in groups]
+        if not self.groups:
+            raise ValueError("need at least one partition group")
+        self.at = at
+        self.heal_at = heal_at
+        self.label = f"partition@{at:g}"
+
+    def run(self, injector):
+        yield injector.env.timeout(self.at)
+        session = injector.session
+        begin = self._hook(session, "fault_partition_begin")
+        end = self._hook(session, "fault_partition_end")
+        injector.add_window(self.label, self.at, self.heal_at, self.kind)
+        begin(self.groups)
+        yield injector.env.timeout(self.heal_at - injector.env.now)
+        end()
+
+
+class FaultSchedule:
+    """An ordered collection of faults to arm on one session.
+
+    Sessions take a schedule via their ``faults=`` parameter::
+
+        schedule = FaultSchedule([SenderCrash(at=80.0, down_for=10.0)])
+        session = TwoQueueSession(data_kbps=50.0, update_rate=2.0,
+                                  loss_rate=0.2, faults=schedule)
+    """
+
+    def __init__(self, faults: Iterable[Fault] = ()) -> None:
+        self._faults: List[Fault] = []
+        for fault in faults:
+            self.add(fault)
+
+    def add(self, fault: Fault) -> "FaultSchedule":
+        if not isinstance(fault, Fault):
+            raise TypeError(
+                f"expected a Fault, got {type(fault).__name__}: {fault!r}"
+            )
+        self._faults.append(fault)
+        return self
+
+    def __iter__(self):
+        return iter(self._faults)
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(fault) for fault in self._faults)
+        return f"FaultSchedule([{inner}])"

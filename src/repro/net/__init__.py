@@ -17,6 +17,7 @@ from repro.net.loss import (
     GilbertElliottLoss,
     LossModel,
     NoLoss,
+    TotalLoss,
     TraceLoss,
 )
 from repro.net.link import Link
@@ -38,6 +39,7 @@ __all__ = [
     "PACKET_BITS",
     "Packet",
     "PacketCapture",
+    "TotalLoss",
     "TraceLoss",
     "kbps_to_pps",
     "pps_to_kbps",

@@ -160,6 +160,7 @@ class MulticastChannel:
         self.shared_loss = shared_loss if shared_loss is not None else NoLoss()
         self._queue: Store = Store(env)
         self._receivers: Dict[Any, tuple[LossModel, Callable[[Packet], None]]] = {}
+        self._blocked: set[Any] = set()
         self._serviced_hooks: list[Callable[[Packet, Dict[Any, bool]], None]] = []
         self._completions: Dict[int, Any] = {}
         self.packets_sent = 0
@@ -172,15 +173,39 @@ class MulticastChannel:
         sink: Callable[[Packet], None],
         loss: LossModel | None = None,
     ) -> None:
-        """Add a receiver to the group with its own loss model."""
+        """Add a receiver to the group with its own loss model.
+
+        Re-joining after a :meth:`leave` (churn, a healed partition) is
+        allowed and keeps the receiver's delivery count; joining while
+        already a member is still an error.
+        """
         if receiver_id in self._receivers:
             raise ValueError(f"receiver {receiver_id!r} already joined")
         self._receivers[receiver_id] = (loss if loss is not None else NoLoss(), sink)
-        self.delivered_per_receiver[receiver_id] = 0
+        self.delivered_per_receiver.setdefault(receiver_id, 0)
 
-    def leave(self, receiver_id: Any) -> None:
-        """Remove a receiver (late leave, crash, partition)."""
-        self._receivers.pop(receiver_id, None)
+    def leave(
+        self, receiver_id: Any
+    ) -> Optional[tuple[LossModel, Callable[[Packet], None]]]:
+        """Remove a receiver (late leave, crash, partition).
+
+        Returns the receiver's ``(loss, sink)`` pair so a later
+        re-:meth:`join` can restore exactly the same wiring.
+        """
+        self._blocked.discard(receiver_id)
+        return self._receivers.pop(receiver_id, None)
+
+    def block(self, receiver_id: Any) -> None:
+        """Partition a member: it stays joined but every packet is lost.
+
+        Unlike per-receiver loss, blocking does not advance the
+        receiver's loss model — no packet reaches its last hop at all.
+        """
+        self._blocked.add(receiver_id)
+
+    def unblock(self, receiver_id: Any) -> None:
+        """Heal a partition for one member."""
+        self._blocked.discard(receiver_id)
 
     def on_serviced(
         self, hook: Callable[[Packet, Dict[Any, bool]], None]
@@ -216,6 +241,9 @@ class MulticastChannel:
             outcomes: Dict[Any, bool] = {}
             upstream_lost = self.shared_loss.is_lost()
             for receiver_id, (loss, sink) in list(self._receivers.items()):
+                if receiver_id in self._blocked:
+                    outcomes[receiver_id] = True
+                    continue
                 lost = upstream_lost or loss.is_lost()
                 outcomes[receiver_id] = lost
                 if lost:

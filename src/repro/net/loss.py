@@ -10,8 +10,25 @@ tested (see the loss-model ablation bench).
 
 from __future__ import annotations
 
+import itertools
 import random
 from typing import Iterable, Sequence
+
+from repro.des.rng import RngStreams
+
+#: Stream family for models built without an explicit rng.  Every such
+#: instance draws from its own substream: two channels constructed
+#: side by side must not share one loss sequence (they used to — every
+#: default was ``random.Random(0)``, so "independent" channels dropped
+#: exactly the same packets).  Instance numbering makes this
+#: deterministic within a process; code that needs cross-process
+#: reproducibility should pass an explicit rng, as the sessions do.
+_DEFAULT_STREAMS = RngStreams(seed=0x10_55)
+_DEFAULT_COUNTER = itertools.count()
+
+
+def _default_rng() -> random.Random:
+    return _DEFAULT_STREAMS[f"model-{next(_DEFAULT_COUNTER)}"]
 
 
 class LossModel:
@@ -26,7 +43,14 @@ class LossModel:
         raise NotImplementedError
 
     def reset(self) -> None:
-        """Return to the initial state (trace position, chain state)."""
+        """Return to the construction-time state, exactly.
+
+        Stateful models rewind everything that affects future draws:
+        trace position, chain state, and the rng sequence itself.  This
+        is what lets a fault overlay (``repro.faults.LossEpisode``) put
+        a channel's original model back untouched.  Note that a model
+        sharing its rng with other consumers rewinds that shared stream.
+        """
 
 
 class NoLoss(LossModel):
@@ -40,6 +64,17 @@ class NoLoss(LossModel):
         return 0.0
 
 
+class TotalLoss(LossModel):
+    """A severed channel: every packet is dropped (outages, partitions)."""
+
+    def is_lost(self) -> bool:
+        return True
+
+    @property
+    def mean_loss_rate(self) -> float:
+        return 1.0
+
+
 class BernoulliLoss(LossModel):
     """Independent loss with fixed probability ``rate`` per packet."""
 
@@ -47,7 +82,8 @@ class BernoulliLoss(LossModel):
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"loss rate must be in [0, 1], got {rate}")
         self.rate = rate
-        self._rng = rng if rng is not None else random.Random(0)
+        self._rng = rng if rng is not None else _default_rng()
+        self._initial_rng_state = self._rng.getstate()
 
     def is_lost(self) -> bool:
         if self.rate == 0.0:
@@ -59,6 +95,9 @@ class BernoulliLoss(LossModel):
     @property
     def mean_loss_rate(self) -> float:
         return self.rate
+
+    def reset(self) -> None:
+        self._rng.setstate(self._initial_rng_state)
 
     def __repr__(self) -> str:
         return f"BernoulliLoss(rate={self.rate})"
@@ -98,7 +137,8 @@ class GilbertElliottLoss(LossModel):
         self.p_bg = p_bg
         self.bad_loss = bad_loss
         self.good_loss = good_loss
-        self._rng = rng if rng is not None else random.Random(0)
+        self._rng = rng if rng is not None else _default_rng()
+        self._initial_rng_state = self._rng.getstate()
         self._bad = False
 
     @classmethod
@@ -150,6 +190,7 @@ class GilbertElliottLoss(LossModel):
 
     def reset(self) -> None:
         self._bad = False
+        self._rng.setstate(self._initial_rng_state)
 
     def __repr__(self) -> str:
         return (

@@ -53,6 +53,10 @@ class OpenLoopSession(BaseSession):
             except ValueError:
                 pass
 
+    def _clear_queues(self) -> None:
+        self._ring.clear()
+        self._queued.clear()
+
     def _announce_interval_hint(self) -> Optional[float]:
         # With L live records sharing mu packets/s, each record is
         # announced about every L/mu seconds; use the steady-state

@@ -155,6 +155,23 @@ class ArqSession(BaseSession):
             except ValueError:
                 pass
 
+    def _clear_queues(self) -> None:
+        self._sendq.clear()
+        self._queued.clear()
+        self._acked.clear()
+        self._in_flight.clear()
+
+    # Warm restart keeps hard-state semantics: an acknowledged record is
+    # *done* and is never re-sent (the base `_requeue_missing` defers to
+    # `_enqueue_new`, which skips acked identities), and unacked records
+    # stay gated on their exponential-backoff timers.  This is precisely
+    # the recovery path the paper contrasts with soft-state refresh.
+
+    def _fault_channels(self):
+        channels = super()._fault_channels()
+        channels.append(self.ack_channel)
+        return channels
+
     def feedback_packets_count(self) -> int:
         return self.ack_channel.packets_sent
 

@@ -24,11 +24,21 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core import (
     BandwidthLedger,
     ConsistencyMeter,
+    FaultReport,
     LatencyRecorder,
+    RecoveryTracker,
     SoftStateTable,
 )
-from repro.des import Environment, RngStreams
-from repro.net import BernoulliLoss, Channel, LossModel, Packet
+from repro.des import Environment, Interrupt, RngStreams, SimulationError
+from repro.faults import FaultInjector, sender_side
+from repro.net import (
+    BernoulliLoss,
+    Channel,
+    CombinedLoss,
+    LossModel,
+    Packet,
+    TotalLoss,
+)
 from repro.workloads import PoissonUpdateWorkload, Workload
 
 
@@ -50,6 +60,8 @@ class ProtocolResult:
     live_records: int = 0
     bandwidth_bits: Dict[str, float] = field(default_factory=dict)
     consistency_series: List[Tuple[float, float]] = field(default_factory=list)
+    fault_reports: List[FaultReport] = field(default_factory=list)
+    false_expiries: int = 0
 
     def as_row(self) -> Dict[str, float]:
         return {
@@ -200,6 +212,7 @@ class BaseSession:
         tick: float = 1.0,
         record_series: bool = False,
         empty_policy: str = "zero",
+        faults=None,
     ) -> None:
         if data_kbps <= 0:
             raise ValueError(f"data_kbps must be positive, got {data_kbps}")
@@ -233,7 +246,7 @@ class BaseSession:
             announce_interval_hint=self._announce_interval_hint(),
             refresh_estimator=refresh_estimator,
         )
-        self.data_channel.subscribe(self.receiver.deliver)
+        self.data_channel.subscribe(self._deliver_data)
 
         self.meter: Optional[ConsistencyMeter] = None
         self._last_observe = -math.inf
@@ -243,6 +256,19 @@ class BaseSession:
         self._first_tx_done: set[Tuple[Any, int]] = set()
         self.nacks_sent = 0
         self.nacks_delivered = 0
+
+        #: Fault-injection state.  A schedule forces series recording
+        #: (recovery analysis needs the consistency time series) and
+        #: hooks receiver-side expirations for false-expiry counting.
+        self.faults = faults
+        self.fault_tracker: Optional[RecoveryTracker] = None
+        if faults is not None:
+            self.fault_tracker = RecoveryTracker()
+            self.record_series = True
+            self.receiver.table.on_expire(self._note_receiver_expiry)
+        self.sender_process = None
+        self._receiver_attached = True
+        self._partition_token = None
 
     # -- subclass responsibilities ---------------------------------------------
     def _enqueue_new(self, key: Any) -> None:
@@ -260,6 +286,19 @@ class BaseSession:
     def _drop_from_queues(self, key: Any) -> None:
         """Remove a dying record from all transmission queues."""
         raise NotImplementedError
+
+    def _clear_queues(self) -> None:
+        """Empty every transmission queue (cold sender restart)."""
+        raise NotImplementedError
+
+    def _requeue_missing(self, key: Any) -> None:
+        """Ensure a live record is scheduled again (warm sender restart).
+
+        The default treats it like a fresh insert; schedulers that would
+        be distorted by a full-table burst (e.g. the two-queue HOT list)
+        override this to requeue only records not already scheduled.
+        """
+        self._enqueue_new(key)
 
     def _announce_interval_hint(self) -> Optional[float]:
         """Expected per-record announcement interval (for hold timers)."""
@@ -378,22 +417,145 @@ class BaseSession:
 
     def _sender_loop(self):
         while True:
-            self.publisher.expire(self.env.now)
-            key = self._dequeue_next()
-            if key is None:
-                self._wakeup = self.env.event()
-                yield self._wakeup
-                self._wakeup = None
-                continue
-            record = self.publisher.get(key)
-            if record is None or not record.is_publisher_live(self.env.now):
-                continue
-            packet = self._make_packet(key)
-            self._account_transmission(key, packet)
-            record.announcements += 1
-            lost = yield self.data_channel.transmit(packet)
-            self._observe(self.env.now)
-            self._after_service(key, lost)
+            try:
+                while True:
+                    self.publisher.expire(self.env.now)
+                    key = self._dequeue_next()
+                    if key is None:
+                        self._wakeup = self.env.event()
+                        yield self._wakeup
+                        self._wakeup = None
+                        continue
+                    record = self.publisher.get(key)
+                    if record is None or not record.is_publisher_live(
+                        self.env.now
+                    ):
+                        continue
+                    packet = self._make_packet(key)
+                    self._account_transmission(key, packet)
+                    record.announcements += 1
+                    lost = yield self.data_channel.transmit(packet)
+                    self._observe(self.env.now)
+                    self._after_service(key, lost)
+            except Interrupt as interrupt:
+                yield from self._crashed_sender(interrupt.cause)
+
+    # -- fault support -------------------------------------------------------------
+    def _deliver_data(self, packet: Packet) -> None:
+        """Channel sink: gate deliveries on receiver membership.
+
+        A receiver taken down by churn or a crash simply stops hearing
+        announcements; its soft state then ages out on its own timers.
+        """
+        if self._receiver_attached:
+            self.receiver.deliver(packet)
+
+    def _note_receiver_expiry(self, record, now: float) -> None:
+        """Count receiver expirations of data the publisher still holds.
+
+        This is the scalable-timers false-sharing cost: with a small
+        hold multiple, a crashed (but recovering) sender looks dead and
+        receivers discard perfectly valid state.
+        """
+        if self.fault_tracker is None:
+            return
+        mine = self.publisher.get(record.key)
+        if mine is not None and mine.is_publisher_live(now):
+            self.fault_tracker.note_false_expiry(now, record.key)
+
+    def _crashed_sender(self, crash):
+        """Resumed inside the sender process after an interrupt."""
+        self._wakeup = None
+        if getattr(crash, "cold", False):
+            self._lose_publisher_state()
+        yield self.env.timeout(crash.down_for)
+        self._restart_sender()
+        self._observe(self.env.now, force=True)
+
+    def _restart_sender(self) -> None:
+        """Warm restart: rescan the surviving table into the queues."""
+        for record in self.publisher.live_records(self.env.now):
+            self._requeue_missing(record.key)
+
+    def _lose_publisher_state(self) -> None:
+        """Cold restart: the publisher table itself is gone."""
+        for record in list(self.publisher):
+            self.latency.abandoned(record.key, record.version)
+            if hasattr(self.workload, "note_death"):
+                self.workload.note_death(record.key)
+        self.publisher.clear()
+        self._clear_queues()
+
+    # Hooks consumed by repro.faults (duck-typed; absence of a hook
+    # means the session rejects that fault class).
+    def fault_crash_sender(self, crash) -> None:
+        """Interrupt the sender process for ``crash.down_for`` seconds."""
+        if self.sender_process is None:
+            raise SimulationError(
+                "session is not running; there is no sender to crash"
+            )
+        self.sender_process.interrupt(crash)
+
+    def _fault_channels(self) -> List[Channel]:
+        """Every channel severed by an outage or partition."""
+        return [self.data_channel]
+
+    def _fault_data_channels(self) -> List[Channel]:
+        """Forward-path channels overlaid by a loss episode."""
+        return [self.data_channel]
+
+    def fault_outage_begin(self):
+        token = []
+        for channel in self._fault_channels():
+            token.append((channel, channel.loss))
+            channel.loss = TotalLoss()
+        return token
+
+    def fault_outage_end(self, token) -> None:
+        for channel, loss in token:
+            channel.loss = loss
+
+    def fault_loss_overlay(self, make_model):
+        token = []
+        for channel in self._fault_data_channels():
+            token.append((channel, channel.loss))
+            channel.loss = CombinedLoss([channel.loss, make_model()])
+        return token
+
+    def fault_loss_restore(self, token) -> None:
+        for channel, loss in token:
+            channel.loss = loss
+
+    def fault_receiver_ids(self) -> List[Any]:
+        return ["receiver"]
+
+    def fault_receiver_leave(self, receiver_id: Any, cold: bool = True) -> None:
+        self._receiver_attached = False
+        if cold:
+            # Not an expiry: the receiver lost its state, it did not
+            # time anything out, so no false-expiry events fire.
+            self.receiver.table.clear()
+        self._observe(self.env.now, force=True)
+
+    def fault_receiver_rejoin(self, receiver_id: Any) -> None:
+        self._receiver_attached = True
+        # Sequence numbering restarts from "now": everything missed
+        # while away is not a gap to NACK, it is simply unknown state
+        # to be relearned from the announcement stream.
+        self.receiver._next_seq = self._seq
+        self.receiver.missing_seqs.clear()
+        self._observe(self.env.now, force=True)
+
+    def fault_partition_begin(self, groups) -> None:
+        if "receiver" in sender_side(groups):
+            self._partition_token = None
+        else:
+            self._partition_token = self.fault_outage_begin()
+
+    def fault_partition_end(self) -> None:
+        if self._partition_token is not None:
+            self.fault_outage_end(self._partition_token)
+            self._partition_token = None
 
     def _ticker(self):
         while True:
@@ -411,9 +573,11 @@ class BaseSession:
         self.workload_process = self.env.process(
             self.workload.run(self.env, self, self.rng["workload"])
         )
-        self.env.process(self._sender_loop())
+        self.sender_process = self.env.process(self._sender_loop())
         self.env.process(self._ticker())
         self._start_extra_processes()
+        if self.faults is not None:
+            FaultInjector(self, self.faults, self.fault_tracker).start()
         self.env.run(until=warmup)
         self.meter = ConsistencyMeter(
             self.publisher,
@@ -451,5 +615,15 @@ class BaseSession:
                 self.meter.running_average_series()
                 if self.record_series
                 else []
+            ),
+            fault_reports=(
+                self.fault_tracker.analyze(self.meter.series)
+                if self.fault_tracker is not None
+                else []
+            ),
+            false_expiries=(
+                self.fault_tracker.false_expiries
+                if self.fault_tracker is not None
+                else 0
             ),
         )

@@ -201,6 +201,19 @@ class FeedbackSession(TwoQueueSession):
         self._pending_repairs.pop(key, None)
         super()._drop_from_queues(key)
 
+    def _clear_queues(self) -> None:
+        super()._clear_queues()
+        self._pending_repairs.clear()
+        self._nack_times.clear()
+
+    def _fault_channels(self):
+        # A severed link (or a partition isolating the receiver) cuts
+        # the feedback path too: NACKs cannot cross an outage either.
+        channels = super()._fault_channels()
+        if self.feedback_channel is not None:
+            channels.append(self.feedback_channel)
+        return channels
+
     def feedback_packets_count(self) -> int:
         if self.feedback_channel is None:
             return 0

@@ -31,11 +31,14 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from repro.core import (
     BandwidthLedger,
     ConsistencyMeter,
+    FaultReport,
     LatencyRecorder,
+    RecoveryTracker,
     SoftStateTable,
 )
-from repro.des import Environment, RngStreams
-from repro.net import BernoulliLoss, MulticastChannel, Packet
+from repro.des import Environment, Interrupt, RngStreams, SimulationError
+from repro.faults import FaultInjector, sender_side
+from repro.net import BernoulliLoss, CombinedLoss, MulticastChannel, Packet, TotalLoss
 from repro.protocols.states import RecordState, RecordStateMachine
 from repro.protocols.two_queue import COLD, HOT, make_scheduler
 from repro.workloads import PoissonUpdateWorkload, Workload
@@ -56,6 +59,8 @@ class MulticastResult:
     repairs_transmitted: int
     duration: float
     bandwidth_bits: Dict[str, float] = field(default_factory=dict)
+    fault_reports: List[FaultReport] = field(default_factory=list)
+    false_expiries: int = 0
 
     @property
     def nacks_per_loss_event(self) -> float:
@@ -93,6 +98,9 @@ class _GroupReceiver:
         self._attempts: Dict[int, int] = {}
         self.nacks_sent = 0
         self.nacks_suppressed = 0
+        #: Set while the member is off the network (churn, partition):
+        #: its slot timers keep ticking but no NACK can be transmitted.
+        self.unreachable = False
 
     # -- data path --------------------------------------------------------------
     def deliver(self, packet: Packet) -> None:
@@ -180,6 +188,8 @@ class _GroupReceiver:
             self._attempts.pop(seq, None)
 
     def _send_nack(self, seq: int) -> None:
+        if self.unreachable:
+            return
         self.nacks_sent += 1
         self.session.nacks_sent += 1
         self.session.ledger.add("feedback", NACK_BITS)
@@ -222,6 +232,7 @@ class MulticastFeedbackSession:
         seed: int = 0,
         tick: float = 1.0,
         join_times: Optional[Dict[str, float]] = None,
+        faults=None,
     ) -> None:
         if n_receivers < 1:
             raise ValueError(f"need at least one receiver, got {n_receivers}")
@@ -288,13 +299,17 @@ class MulticastFeedbackSession:
 
         join_times = join_times or {}
         self.receivers: List[_GroupReceiver] = []
+        self._receiver_by_id: Dict[str, _GroupReceiver] = {}
+        self._receiver_loss: Dict[str, BernoulliLoss] = {}
         for index in range(n_receivers):
             receiver_id = f"rcv-{index}"
             family = self.rng.spawn(receiver_id)
             receiver = _GroupReceiver(receiver_id, self, family["slots"])
             self.receivers.append(receiver)
+            self._receiver_by_id[receiver_id] = receiver
             join_at = join_times.get(receiver_id, 0.0)
             data_loss = BernoulliLoss(loss_rate, rng=family["loss"])
+            self._receiver_loss[receiver_id] = data_loss
             if join_at <= 0.0:
                 self.data_channel.join(
                     receiver_id, receiver.deliver, loss=data_loss
@@ -321,6 +336,16 @@ class MulticastFeedbackSession:
         self.meter: Optional[ConsistencyMeter] = None
         self._per_receiver_meters: Dict[str, ConsistencyMeter] = {}
         self._last_observed = -float("inf")
+
+        #: Fault-injection state (same contract as BaseSession).
+        self.faults = faults
+        self.fault_tracker: Optional[RecoveryTracker] = None
+        if faults is not None:
+            self.fault_tracker = RecoveryTracker()
+            for receiver in self.receivers:
+                receiver.table.on_expire(self._note_receiver_expiry)
+        self.sender_process = None
+        self._partition_state: List[Tuple[str, "_GroupReceiver"]] = []
 
     def _late_join(self, receiver: "_GroupReceiver", join_at: float, loss) -> Any:
         yield self.env.timeout(join_at)
@@ -461,46 +486,174 @@ class MulticastFeedbackSession:
 
     def _sender_loop(self):
         while True:
-            self.publisher.expire(self.env.now)
-            entry = self.scheduler.dequeue()
-            if entry is None:
-                self._wakeup = self.env.event()
-                yield self._wakeup
-                self._wakeup = None
+            try:
+                while True:
+                    self.publisher.expire(self.env.now)
+                    entry = self.scheduler.dequeue()
+                    if entry is None:
+                        self._wakeup = self.env.event()
+                        yield self._wakeup
+                        self._wakeup = None
+                        continue
+                    _, key = entry
+                    self._location.pop(key, None)
+                    record = self.publisher.get(key)
+                    if record is None or not record.is_publisher_live(
+                        self.env.now
+                    ):
+                        continue
+                    seq = self._seq
+                    self._seq += 1
+                    self._seq_to_key[seq] = (key, record.version)
+                    repairs = tuple(sorted(self._pending_repairs.pop(key, ())))
+                    packet = Packet(
+                        kind="announce",
+                        key=key,
+                        seq=seq,
+                        payload={
+                            "key": key,
+                            "value": record.value,
+                            "version": record.version,
+                            "expires_at": record.publisher_expiry,
+                            "repairs": repairs,
+                        },
+                    )
+                    self.ledger.add(
+                        "repair" if repairs else "new", packet.size_bits
+                    )
+                    record.announcements += 1
+                    yield self.data_channel.transmit(packet)
+                    self.observe()
+                    if self.publisher.get(key) is not None:
+                        machine = self.machines[key]
+                        machine.on_transmitted()
+                        if self._location.get(key) != HOT:
+                            self.scheduler.enqueue(COLD, key)
+                            self._location[key] = COLD
+            except Interrupt as interrupt:
+                yield from self._crashed_sender(interrupt.cause)
+
+    # -- fault support ---------------------------------------------------------------------
+    def _note_receiver_expiry(self, record, now: float) -> None:
+        if self.fault_tracker is None:
+            return
+        mine = self.publisher.get(record.key)
+        if mine is not None and mine.is_publisher_live(now):
+            self.fault_tracker.note_false_expiry(now, record.key)
+
+    def _crashed_sender(self, crash):
+        self._wakeup = None
+        if getattr(crash, "cold", False):
+            for key, location in list(self._location.items()):
+                self.scheduler.remove(location, key)
+            self._location.clear()
+            for machine in self.machines.values():
+                machine.on_death()
+            self.machines.clear()
+            self._pending_repairs.clear()
+            for record in list(self.publisher):
+                for receiver in self.receivers:
+                    self.latency.abandoned(
+                        (receiver.receiver_id, record.key), record.version
+                    )
+                if hasattr(self.workload, "note_death"):
+                    self.workload.note_death(record.key)
+            self.publisher.clear()
+        yield self.env.timeout(crash.down_for)
+        # Warm restart: unscheduled survivors rejoin the background
+        # cycle; recovery happens at cold speed, as the paper predicts.
+        for record in self.publisher.live_records(self.env.now):
+            key = record.key
+            if key in self._location:
                 continue
-            _, key = entry
-            self._location.pop(key, None)
-            record = self.publisher.get(key)
-            if record is None or not record.is_publisher_live(self.env.now):
+            if key not in self.machines:
+                self._promote(key)
                 continue
-            seq = self._seq
-            self._seq += 1
-            self._seq_to_key[seq] = (key, record.version)
-            repairs = tuple(sorted(self._pending_repairs.pop(key, ())))
-            packet = Packet(
-                kind="announce",
-                key=key,
-                seq=seq,
-                payload={
-                    "key": key,
-                    "value": record.value,
-                    "version": record.version,
-                    "expires_at": record.publisher_expiry,
-                    "repairs": repairs,
-                },
+            self.scheduler.enqueue(COLD, key)
+            self._location[key] = COLD
+        self.observe(force=True)
+
+    def fault_crash_sender(self, crash) -> None:
+        if self.sender_process is None:
+            raise SimulationError(
+                "session is not running; there is no sender to crash"
             )
-            self.ledger.add(
-                "repair" if repairs else "new", packet.size_bits
-            )
-            record.announcements += 1
-            yield self.data_channel.transmit(packet)
-            self.observe()
-            if self.publisher.get(key) is not None:
-                machine = self.machines[key]
-                machine.on_transmitted()
-                if self._location.get(key) != HOT:
-                    self.scheduler.enqueue(COLD, key)
-                    self._location[key] = COLD
+        self.sender_process.interrupt(crash)
+
+    def fault_outage_begin(self):
+        token = []
+        for channel in (self.data_channel, self.feedback_channel):
+            token.append((channel, channel.shared_loss))
+            channel.shared_loss = TotalLoss()
+        return token
+
+    def fault_outage_end(self, token) -> None:
+        for channel, loss in token:
+            channel.shared_loss = loss
+
+    def fault_loss_overlay(self, make_model):
+        token = [(self.data_channel, self.data_channel.shared_loss)]
+        self.data_channel.shared_loss = CombinedLoss(
+            [self.data_channel.shared_loss, make_model()]
+        )
+        return token
+
+    def fault_loss_restore(self, token) -> None:
+        for channel, loss in token:
+            channel.shared_loss = loss
+
+    def fault_receiver_ids(self) -> List[str]:
+        return [receiver.receiver_id for receiver in self.receivers]
+
+    def fault_receiver_leave(self, receiver_id: str, cold: bool = True) -> None:
+        receiver = self._receiver_by_id[receiver_id]
+        self.data_channel.leave(receiver_id)
+        self.feedback_channel.block(receiver_id)
+        receiver.unreachable = True
+        if cold:
+            receiver.table.clear()
+            receiver.missing.clear()
+            receiver._heard.clear()
+            receiver._attempts.clear()
+        self.observe(force=True)
+
+    def fault_receiver_rejoin(self, receiver_id: str) -> None:
+        receiver = self._receiver_by_id[receiver_id]
+        # The sequence space that passed while away is unknown state to
+        # relearn from the announcement cycle, not a burst of gaps.
+        receiver._next_seq = self._seq
+        receiver.missing.clear()
+        receiver.unreachable = False
+        self.data_channel.join(
+            receiver_id,
+            receiver.deliver,
+            loss=self._receiver_loss[receiver_id],
+        )
+        self.feedback_channel.unblock(receiver_id)
+        self.observe(force=True)
+
+    def fault_partition_begin(self, groups) -> None:
+        connected = sender_side(groups)
+        for receiver in self.receivers:
+            if receiver.receiver_id in connected:
+                continue
+            self.data_channel.block(receiver.receiver_id)
+            self.feedback_channel.block(receiver.receiver_id)
+            receiver.unreachable = True
+            self._partition_state.append((receiver.receiver_id, receiver))
+        self.observe(force=True)
+
+    def fault_partition_end(self) -> None:
+        for receiver_id, receiver in self._partition_state:
+            self.data_channel.unblock(receiver_id)
+            self.feedback_channel.unblock(receiver_id)
+            # Partitioned members kept listening state; missed sequence
+            # numbers are relearned, not NACK-stormed.
+            receiver._next_seq = self._seq
+            receiver.missing.clear()
+            receiver.unreachable = False
+        self._partition_state = []
+        self.observe(force=True)
 
     def _ticker(self):
         while True:
@@ -516,14 +669,18 @@ class MulticastFeedbackSession:
         self.env.process(
             self.workload.run(self.env, self, self.rng["workload"])
         )
-        self.env.process(self._sender_loop())
+        self.sender_process = self.env.process(self._sender_loop())
         self.env.process(self._ticker())
+        if self.faults is not None:
+            FaultInjector(self, self.faults, self.fault_tracker).start()
         self.env.run(until=warmup)
         self.meter = ConsistencyMeter(
             self.publisher,
             [receiver.table for receiver in self.receivers],
             start_time=warmup,
         )
+        if self.fault_tracker is not None:
+            self.meter.enable_series()
         for receiver in self.receivers:
             self._per_receiver_meters[receiver.receiver_id] = (
                 ConsistencyMeter(
@@ -546,4 +703,14 @@ class MulticastFeedbackSession:
             repairs_transmitted=self.repairs_transmitted,
             duration=horizon - warmup,
             bandwidth_bits=self.ledger.as_dict(),
+            fault_reports=(
+                self.fault_tracker.analyze(self.meter.series)
+                if self.fault_tracker is not None
+                else []
+            ),
+            false_expiries=(
+                self.fault_tracker.false_expiries
+                if self.fault_tracker is not None
+                else 0
+            ),
         )

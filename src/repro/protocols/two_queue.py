@@ -24,6 +24,7 @@ import random
 from collections import deque
 from typing import Any, Dict, Optional
 
+from repro.des import Interrupt
 from repro.net import BernoulliLoss, Channel
 from repro.protocols.base import BaseSession, ProtocolResult
 from repro.protocols.states import RecordState, RecordStateMachine
@@ -148,6 +149,28 @@ class TwoQueueSession(BaseSession):
         if machine is not None:
             machine.on_death()
 
+    def _clear_queues(self) -> None:
+        for key, location in list(self._location.items()):
+            self.scheduler.remove(location, key)
+        self._location.clear()
+        for machine in self.machines.values():
+            machine.on_death()
+        self.machines.clear()
+
+    def _requeue_missing(self, key: Any) -> None:
+        # A warm restart must not promote the whole table to HOT (that
+        # would let the foreground queue mask the crash); unscheduled
+        # survivors rejoin the background cycle and recover at cold
+        # speed — O(refresh interval), the paper's claim.
+        if key in self._location:
+            return
+        machine = self.machines.get(key)
+        if machine is None:
+            self._enqueue_new(key)
+            return
+        self.scheduler.enqueue(COLD, key)
+        self._location[key] = COLD
+
 
 class RateCappedTwoQueueSession(BaseSession):
     """Hot and cold queues with strict, independent rate caps.
@@ -178,10 +201,11 @@ class RateCappedTwoQueueSession(BaseSession):
                 cold_kbps,
                 loss=BernoulliLoss(loss_rate, rng=self.rng["cold-loss"]),
             )
-            self.cold_channel.subscribe(self.receiver.deliver)
+            self.cold_channel.subscribe(self._deliver_data)
         self._hot_queue: deque[Any] = deque()
         self._cold_ring: deque[Any] = deque()
         self._cold_wakeup = None
+        self._cold_process = None
 
     # -- hot path (runs inside the base sender loop) -------------------------
     def _enqueue_new(self, key: Any) -> None:
@@ -212,28 +236,67 @@ class RateCappedTwoQueueSession(BaseSession):
             except ValueError:
                 pass
 
+    def _clear_queues(self) -> None:
+        self._hot_queue.clear()
+        self._cold_ring.clear()
+
+    def _requeue_missing(self, key: Any) -> None:
+        # Survivors of a warm restart resume background cycling; only
+        # genuinely unscheduled records re-enter, and via the cold ring
+        # rather than the (strictly capped) hot path.
+        if key in self._hot_queue or key in self._cold_ring:
+            return
+        self._cold_ring.append(key)
+        if self._cold_wakeup is not None and not self._cold_wakeup.triggered:
+            self._cold_wakeup.succeed()
+
+    # -- fault support -----------------------------------------------------------
+    def _fault_channels(self):
+        channels = super()._fault_channels()
+        if self.cold_channel is not None:
+            channels.append(self.cold_channel)
+        return channels
+
+    _fault_data_channels = _fault_channels
+
+    def fault_crash_sender(self, crash) -> None:
+        # Both serializers die together: the crash takes out the whole
+        # sender host, not just the foreground loop.
+        super().fault_crash_sender(crash)
+        if self._cold_process is not None:
+            self._cold_process.interrupt(crash)
+
     # -- cold path --------------------------------------------------------------
     def _start_extra_processes(self) -> None:
         super()._start_extra_processes()
         if self.cold_channel is not None:
-            self.env.process(self._cold_loop())
+            self._cold_process = self.env.process(self._cold_loop())
 
     def _cold_loop(self):
         while True:
-            key = self._next_cold_key()
-            if key is None:
-                self._cold_wakeup = self.env.event()
-                yield self._cold_wakeup
+            try:
+                while True:
+                    key = self._next_cold_key()
+                    if key is None:
+                        self._cold_wakeup = self.env.event()
+                        yield self._cold_wakeup
+                        self._cold_wakeup = None
+                        continue
+                    packet = self._make_packet(key)
+                    self._account_transmission(key, packet)
+                    self.publisher.get(key).announcements += 1
+                    yield self.cold_channel.transmit(packet)
+                    self._observe(self.env.now)
+                    record = self.publisher.get(key)
+                    if record is not None and record.is_publisher_live(
+                        self.env.now
+                    ):
+                        self._cold_ring.append(key)
+            except Interrupt as interrupt:
+                # The base sender's crash handler owns state cleanup and
+                # requeueing; this loop just goes quiet for the outage.
                 self._cold_wakeup = None
-                continue
-            packet = self._make_packet(key)
-            self._account_transmission(key, packet)
-            self.publisher.get(key).announcements += 1
-            yield self.cold_channel.transmit(packet)
-            self._observe(self.env.now)
-            record = self.publisher.get(key)
-            if record is not None and record.is_publisher_live(self.env.now):
-                self._cold_ring.append(key)
+                yield self.env.timeout(interrupt.cause.down_for)
 
     def _next_cold_key(self) -> Optional[Any]:
         now = self.env.now

@@ -29,13 +29,23 @@ True
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.core import LatencyRecorder
+from repro.core import LatencyRecorder, RecoveryTracker
 from repro.des import Environment, RngStreams
-from repro.net import BernoulliLoss, Channel, LossModel, MulticastChannel, Packet
+from repro.faults import FaultInjector, sender_side
+from repro.net import (
+    BernoulliLoss,
+    Channel,
+    CombinedLoss,
+    LossModel,
+    MulticastChannel,
+    Packet,
+    TotalLoss,
+)
 from repro.sstp.allocator import ProfileDrivenAllocator
 from repro.sstp.congestion import CongestionManager, StaticCongestionManager
+from repro.sstp.namespace import Namespace
 from repro.sstp.protocol import (
     FEEDBACK_BITS,
     SstpReceiver,
@@ -85,6 +95,7 @@ class SstpSession:
         ] = None,
         on_rate_limit: Optional[Callable[[float], None]] = None,
         seed: int = 0,
+        faults=None,
     ) -> None:
         if n_receivers < 1:
             raise ValueError(f"need at least one receiver, got {n_receivers}")
@@ -142,6 +153,8 @@ class SstpSession:
 
         self.receivers: List[SstpReceiver] = []
         self._meters: Dict[str, _MirrorMeter] = {}
+        self._receiver_loss: Dict[str, LossModel] = {}
+        self._feedback_channels: Dict[str, Optional[Channel]] = {}
         loss_models = loss_models or {}
         interest_filters = interest_filters or {}
         for index in range(n_receivers):
@@ -151,6 +164,7 @@ class SstpSession:
                 loss = BernoulliLoss(
                     loss_rate, rng=self.rng.spawn(receiver_id)["loss"]
                 )
+            self._receiver_loss[receiver_id] = loss
             feedback: Optional[Channel] = None
             if reliability is not ReliabilityLevel.OPEN_LOOP:
                 per_receiver_fb = feedback_kbps / n_receivers
@@ -172,8 +186,22 @@ class SstpSession:
                 latency=self.latency,
             )
             self.receivers.append(receiver)
+            self._feedback_channels[receiver_id] = feedback
             self.data_channel.join(receiver_id, receiver.deliver, loss=loss)
         self.feedback_kbps = feedback_kbps
+
+        #: Fault-injection state (same contract as the protocol-ladder
+        #: sessions).  SSTP mirrors carry no refresh timers — pruning is
+        #: digest-driven — so the false-expiry count is structurally 0.
+        self.faults = faults
+        self.fault_tracker: Optional[RecoveryTracker] = None
+        if faults is not None:
+            self.fault_tracker = RecoveryTracker()
+        self._series: List[Tuple[float, float]] = []
+        self._receiver_by_id: Dict[str, SstpReceiver] = {
+            receiver.receiver_id: receiver for receiver in self.receivers
+        }
+        self._partition_state: List[str] = []
 
     # -- wiring helpers ------------------------------------------------------------
     def _sender_feedback_gate(self, packet: Packet) -> None:
@@ -252,11 +280,15 @@ class SstpSession:
 
     def _observe_meters(self) -> None:
         now = self.env.now
+        values = []
         for receiver in self.receivers:
             meter = self._meters.get(receiver.receiver_id)
             if meter is None:
                 continue
             meter.observe(now, self._mirror_consistency(receiver))
+            values.append(meter.value)
+        if self.fault_tracker is not None and values:
+            self._series.append((now, sum(values) / len(values)))
 
     def _mirror_consistency(self, receiver: SstpReceiver) -> Optional[float]:
         """Fraction of the sender's ADUs (of interest) mirrored exactly."""
@@ -278,6 +310,73 @@ class SstpSession:
                 matched += 1
         return matched / len(relevant)
 
+    # -- fault hooks (consumed by repro.faults) -------------------------------------------
+    def fault_crash_sender(self, crash) -> None:
+        self.sender.crash(crash)
+
+    def fault_outage_begin(self):
+        token = [("shared_loss", self.data_channel, self.data_channel.shared_loss)]
+        self.data_channel.shared_loss = TotalLoss()
+        for channel in self._feedback_channels.values():
+            if channel is None:
+                continue
+            token.append(("loss", channel, channel.loss))
+            channel.loss = TotalLoss()
+        return token
+
+    def fault_outage_end(self, token) -> None:
+        for attr, obj, loss in token:
+            setattr(obj, attr, loss)
+
+    def fault_loss_overlay(self, make_model):
+        token = [("shared_loss", self.data_channel, self.data_channel.shared_loss)]
+        self.data_channel.shared_loss = CombinedLoss(
+            [self.data_channel.shared_loss, make_model()]
+        )
+        return token
+
+    fault_loss_restore = fault_outage_end
+
+    def fault_receiver_ids(self) -> List[str]:
+        return [receiver.receiver_id for receiver in self.receivers]
+
+    def fault_receiver_leave(self, receiver_id: str, cold: bool = True) -> None:
+        receiver = self._receiver_by_id[receiver_id]
+        self.data_channel.leave(receiver_id)
+        receiver.detached = True
+        if cold:
+            # The crashed subscriber restarts with an empty mirror and
+            # relearns the namespace from summaries on rejoin.
+            receiver.mirror = Namespace()
+        self._observe_meters()
+
+    def fault_receiver_rejoin(self, receiver_id: str) -> None:
+        receiver = self._receiver_by_id[receiver_id]
+        receiver.detached = False
+        self.data_channel.join(
+            receiver_id,
+            receiver.deliver,
+            loss=self._receiver_loss[receiver_id],
+        )
+        self._observe_meters()
+
+    def fault_partition_begin(self, groups) -> None:
+        connected = sender_side(groups)
+        for receiver in self.receivers:
+            if receiver.receiver_id in connected:
+                continue
+            self.data_channel.block(receiver.receiver_id)
+            receiver.detached = True
+            self._partition_state.append(receiver.receiver_id)
+        self._observe_meters()
+
+    def fault_partition_end(self) -> None:
+        for receiver_id in self._partition_state:
+            self.data_channel.unblock(receiver_id)
+            self._receiver_by_id[receiver_id].detached = False
+        self._partition_state = []
+        self._observe_meters()
+
     # -- running -------------------------------------------------------------------------
     def run(self, horizon: float, warmup: float = 0.0) -> SstpResult:
         if horizon <= warmup:
@@ -289,6 +388,8 @@ class SstpSession:
         if self.adapt_interval is not None:
             self.env.process(self._adapt_loop())
         self.env.process(self._meter_loop())
+        if self.faults is not None:
+            FaultInjector(self, self.faults, self.fault_tracker).start()
         self.env.run(until=warmup)
         for receiver in self.receivers:
             self._meters[receiver.receiver_id] = _MirrorMeter(warmup)
@@ -312,4 +413,14 @@ class SstpSession:
             data_packets_sent=self.data_channel.packets_sent,
             bandwidth_bits=self.sender.ledger.as_dict(),
             estimated_loss=self.sender.loss_estimator.estimate,
+            fault_reports=(
+                self.fault_tracker.analyze(self._series)
+                if self.fault_tracker is not None
+                else []
+            ),
+            false_expiries=(
+                self.fault_tracker.false_expiries
+                if self.fault_tracker is not None
+                else 0
+            ),
         )

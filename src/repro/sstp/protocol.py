@@ -30,8 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.core import BandwidthLedger, LatencyRecorder
-from repro.des import Environment
+from repro.core import BandwidthLedger, FaultReport, LatencyRecorder
+from repro.des import Environment, Interrupt
 from repro.net import Channel, MulticastChannel, Packet
 from repro.sched import HierarchicalScheduler
 from repro.sstp.namespace import Namespace
@@ -62,6 +62,8 @@ class SstpResult:
     data_packets_sent: int
     bandwidth_bits: Dict[str, float] = field(default_factory=dict)
     estimated_loss: float = 0.0
+    fault_reports: list[FaultReport] = field(default_factory=list)
+    false_expiries: int = 0
 
 
 class _MirrorMeter:
@@ -81,6 +83,11 @@ class _MirrorMeter:
             self.last_time = now
         if value is not None:
             self._value = value
+
+    @property
+    def value(self) -> float:
+        """The most recently observed consistency sample."""
+        return self._value
 
     def average(self) -> float:
         return self.weighted / self.duration if self.duration else 0.0
@@ -112,6 +119,9 @@ class SstpReceiver:
         self.repairs_requested = 0
         self.adus_received = 0
         self._event_hook: Optional[Callable[[], None]] = None
+        #: Set while the receiver is off the network (churn, partition):
+        #: no queries or reports can be transmitted.
+        self.detached = False
 
     # -- packet handling -----------------------------------------------------
     def deliver(self, packet: Packet) -> None:
@@ -186,7 +196,7 @@ class SstpReceiver:
 
     # -- feedback -------------------------------------------------------------
     def _query(self, path: str, descend: bool) -> None:
-        if self.feedback is None:
+        if self.feedback is None or self.detached:
             return
         self.queries_sent += 1
         if not descend:
@@ -204,7 +214,7 @@ class SstpReceiver:
         )
 
     def send_report(self) -> None:
-        if self.feedback is None:
+        if self.feedback is None or self.detached:
             return
         report = self.report_builder.build(self.env.now)
         if report is None:
@@ -269,7 +279,10 @@ class SstpSender:
         self.queries_received = 0
         self._wakeup = None
         self._first_tx: set[Tuple[str, int]] = set()
-        env.process(self._run())
+        #: Set while the sender is crashed: feedback arriving in this
+        #: window reaches a dead process and is simply lost.
+        self.crashed = False
+        self._process = env.process(self._run())
         env.process(self._summary_pump())
 
     # -- application-facing ------------------------------------------------------
@@ -303,8 +316,32 @@ class SstpSender:
         self.scheduler.set_weight(HOT, hot_share)
         self.scheduler.set_weight(COLD, 1.0 - hot_share)
 
+    # -- fault support ---------------------------------------------------------------
+    def crash(self, crash) -> None:
+        """Kill the transmission engine for ``crash.down_for`` seconds.
+
+        A warm restart resumes with the namespace intact: the very next
+        cold summary advertises the true root digest and receivers pull
+        whatever they missed — recovery is O(summary interval) by
+        construction.  ``crash.cold`` loses the namespace; only data
+        published after the restart exists.
+        """
+        self._process.interrupt(crash)
+
+    def _crashed(self, crash):
+        self.crashed = True
+        self._wakeup = None
+        if getattr(crash, "cold", False):
+            for leaf in list(self.namespace.leaves()):
+                self.namespace.remove(leaf.path)
+            self._hot_queued.clear()
+        yield self.env.timeout(crash.down_for)
+        self.crashed = False
+
     # -- feedback handling ----------------------------------------------------------
     def handle_feedback(self, packet: Packet) -> None:
+        if self.crashed:
+            return
         if packet.kind == "query":
             self.queries_received += 1
             payload = packet.payload
@@ -357,18 +394,22 @@ class SstpSender:
 
     def _run(self):
         while True:
-            entry = self.scheduler.dequeue()
-            if entry is None:
-                self._wakeup = self.env.event()
-                yield self._wakeup
-                self._wakeup = None
-                continue
-            _, (kind, path) = entry
-            self._hot_queued.discard((kind, path))
-            packet = self._build(kind, path)
-            if packet is None:
-                continue
-            yield self.data_channel.transmit(packet)
+            try:
+                while True:
+                    entry = self.scheduler.dequeue()
+                    if entry is None:
+                        self._wakeup = self.env.event()
+                        yield self._wakeup
+                        self._wakeup = None
+                        continue
+                    _, (kind, path) = entry
+                    self._hot_queued.discard((kind, path))
+                    packet = self._build(kind, path)
+                    if packet is None:
+                        continue
+                    yield self.data_channel.transmit(packet)
+            except Interrupt as interrupt:
+                yield from self._crashed(interrupt.cause)
 
     def _build(self, kind: str, path: str) -> Optional[Packet]:
         if kind == "summary":

@@ -67,6 +67,7 @@ def test_registry_covers_every_table_and_figure():
         "ext_suppression",
         "ext_convergence",
         "ext_gateway",
+        "ext_resilience",
     }
     assert set(EXPERIMENTS) == expected
 

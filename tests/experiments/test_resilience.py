@@ -1,0 +1,74 @@
+"""Shape tests for the ext_resilience crash-recovery experiment."""
+
+import math
+
+import pytest
+
+from repro.experiments import run_experiment
+
+SOFT = ("announce-listen", "two-queue", "sstp")
+
+
+@pytest.fixture(scope="module")
+def resilience():
+    return run_experiment("ext_resilience", quick=True)
+
+
+def test_every_protocol_reports_one_crash(resilience):
+    protocols = {row["protocol"] for row in resilience.rows}
+    assert protocols == {"announce-listen", "two-queue", "arq", "sstp"}
+    for row in resilience.rows:
+        assert row["crash_s"] > 0
+        assert 0.0 <= row["min_c"] <= row["baseline"] <= 1.0
+
+
+def test_soft_state_recovers(resilience):
+    for row in resilience.rows:
+        if row["protocol"] in SOFT:
+            assert not math.isnan(row["recovery_s"]), row
+            # O(refresh interval), not O(timeout ladder): well under the
+            # ARQ baseline's RTO.
+            assert row["recovery_s"] < 4.0, row
+
+
+def test_arq_recovery_is_strictly_slower(resilience):
+    arq = [row for row in resilience.rows if row["protocol"] == "arq"]
+    assert arq
+    soft_worst = max(
+        row["recovery_s"]
+        for row in resilience.rows
+        if row["protocol"] in SOFT
+    )
+    for row in arq:
+        assert not math.isnan(row["recovery_s"])
+        assert row["recovery_s"] > soft_worst
+
+
+def test_false_expiries_fall_with_hold_multiple(resilience):
+    for protocol in ("announce-listen", "two-queue"):
+        by_multiple = {
+            row["multiple"]: row["false_expiries"]
+            for row in resilience.rows
+            if row["protocol"] == protocol
+        }
+        low, high = min(by_multiple), max(by_multiple)
+        assert by_multiple[low] > by_multiple[high], protocol
+
+
+def test_hard_state_never_falsely_expires(resilience):
+    for row in resilience.rows:
+        if row["protocol"] in ("arq", "sstp"):
+            assert row["false_expiries"] == 0
+
+
+def test_stale_exposure_tracks_hold_multiple(resilience):
+    # A short hold purges state it will have to relearn, so its stale
+    # exposure across the episode is at least that of the long hold.
+    for protocol in ("announce-listen", "two-queue"):
+        by_multiple = {
+            row["multiple"]: row["stale_read_s"]
+            for row in resilience.rows
+            if row["protocol"] == protocol
+        }
+        low, high = min(by_multiple), max(by_multiple)
+        assert by_multiple[low] >= by_multiple[high], protocol

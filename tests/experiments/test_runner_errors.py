@@ -1,0 +1,51 @@
+"""Failing cells must identify themselves: CellError carries the
+(function, params) identity, sequentially and across the process pool."""
+
+import pytest
+
+from repro.experiments.runner import CellError, map_cells
+
+
+def fragile(value: int, seed: int) -> int:
+    if value == 3:
+        raise ValueError(f"cannot handle {value}")
+    return value * 10
+
+
+CELLS = [{"value": v, "seed": 7} for v in range(5)]
+
+
+def test_sequential_failure_names_the_cell():
+    with pytest.raises(CellError) as excinfo:
+        map_cells(fragile, CELLS, jobs=1)
+    message = str(excinfo.value)
+    assert "cell 3" in message
+    assert "fragile" in message
+    assert "value=3" in message
+    assert "seed=7" in message
+    assert "ValueError" in message
+
+
+def test_sequential_failure_chains_the_original():
+    with pytest.raises(CellError) as excinfo:
+        map_cells(fragile, CELLS, jobs=1)
+    assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+def test_pool_failure_names_the_cell():
+    with pytest.raises(CellError) as excinfo:
+        map_cells(fragile, CELLS, jobs=2)
+    message = str(excinfo.value)
+    assert "cell 3" in message
+    assert "fragile(seed=7, value=3)" in message
+
+
+def test_identity_uses_the_qualified_name():
+    with pytest.raises(CellError, match=r"test_runner_errors\.fragile"):
+        map_cells(fragile, [{"value": 3, "seed": 0}], jobs=1)
+
+
+def test_successful_cells_are_unaffected():
+    good = [cell for cell in CELLS if cell["value"] != 3]
+    assert map_cells(fragile, good, jobs=1) == [0, 10, 20, 40]
+    assert map_cells(fragile, good, jobs=2) == [0, 10, 20, 40]
