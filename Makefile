@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-json experiments experiments-quick examples clean
+.PHONY: install test bench bench-json overhead-check experiments experiments-quick examples clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -16,9 +16,16 @@ bench:
 
 # Micro-benchmark results as json, for tracking the perf trajectory
 # across PRs (compare BENCH_micro.json mean/ops between revisions).
+# annotate_bench.py stamps the payload with a schema version and host
+# metadata so files are comparable across machines.
 bench-json:
 	$(PYTHON) -m pytest benchmarks/test_bench_micro.py --benchmark-only \
 		--benchmark-json=BENCH_micro.json
+	$(PYTHON) benchmarks/annotate_bench.py BENCH_micro.json
+
+# CI gate: tracing hooks must cost < 3% on the kernel when disabled.
+overhead-check:
+	$(PYTHON) benchmarks/overhead_check.py --assert-pct 3
 
 experiments:
 	$(PYTHON) -m repro.experiments

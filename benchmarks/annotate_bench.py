@@ -1,0 +1,64 @@
+"""Stamp a pytest-benchmark JSON file with a schema version + host metadata.
+
+``make bench-json`` produces ``BENCH_micro.json`` via pytest-benchmark,
+whose payload has no notion of a schema version and buries the host
+identity in ``machine_info``.  This script adds two top-level keys so
+downstream tooling can compare files across revisions and machines
+without parsing pytest-benchmark internals:
+
+* ``bench_schema_version`` — bumped when we change what we record;
+* ``host`` — the same compact host block run telemetry uses
+  (python version, implementation, cpu count, platform).
+
+Idempotent: re-running simply rewrites the same keys.
+
+Usage::
+
+    python benchmarks/annotate_bench.py [BENCH_micro.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.obs.telemetry import host_metadata  # noqa: E402
+
+BENCH_SCHEMA_VERSION = 1
+
+
+def annotate(path: str) -> None:
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    payload["bench_schema_version"] = BENCH_SCHEMA_VERSION
+    payload["host"] = host_metadata()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default="BENCH_micro.json",
+        help="pytest-benchmark JSON file to annotate in place",
+    )
+    args = parser.parse_args(argv)
+    annotate(args.path)
+    print(
+        f"annotated {args.path}: bench_schema_version={BENCH_SCHEMA_VERSION}, "
+        f"host={host_metadata()['python']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

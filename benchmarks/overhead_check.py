@@ -1,0 +1,102 @@
+"""Assert that the tracing hooks cost nothing when tracing is off.
+
+The observability layer's core promise is *zero cost when disabled*:
+every hook is a guarded attribute (``tr = self._trace; if tr is not
+None and tr.kernel: ...``), and the kernel's untraced run loops are the
+PR-1 fast paths, selected once per ``run()`` call.  This script measures
+that promise on the same timeout-chain workload as the kernel
+micro-benchmark, under two configurations:
+
+* **baseline** — no tracer installed (``_trace`` is ``None``);
+* **disabled** — a tracer installed with *every category off*, so
+  each hook takes the longest possible no-op path (two attribute
+  loads instead of one) yet still emits nothing and the untraced run
+  loop is still selected.
+
+Best-of-N minimum wall times are compared; ``--assert-pct P`` exits
+nonzero if the disabled-tracer configuration is more than P% slower
+than the baseline.  CI runs ``--assert-pct 3``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/overhead_check.py --assert-pct 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.des import Environment  # noqa: E402
+from repro.obs import Tracer, tracing  # noqa: E402
+
+
+def _workload(n_timeouts: int) -> None:
+    env = Environment()
+
+    def chain(env):
+        for _ in range(n_timeouts):
+            yield env.timeout(1.0)
+
+    env.process(chain(env))
+    env.run()
+
+
+def _timed(n_timeouts: int) -> float:
+    start = time.perf_counter()
+    _workload(n_timeouts)
+    return time.perf_counter() - start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--events", type=int, default=200_000, help="timeouts per run"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=7, help="runs per configuration"
+    )
+    parser.add_argument(
+        "--assert-pct",
+        type=float,
+        default=None,
+        metavar="P",
+        help="exit 1 if disabled-tracer overhead exceeds P percent",
+    )
+    args = parser.parse_args(argv)
+
+    # Warm up once so neither configuration pays import/allocation cost,
+    # then interleave the two configurations: clock-frequency drift and
+    # background load hit both alike, and the per-configuration minimum
+    # discards one-sided noise.
+    _workload(args.events // 10)
+
+    baseline = disabled = float("inf")
+    for _ in range(args.repeats):
+        baseline = min(baseline, _timed(args.events))
+        with tracing(Tracer(categories=())):
+            disabled = min(disabled, _timed(args.events))
+
+    overhead_pct = (disabled - baseline) / baseline * 100.0
+    rate = args.events / baseline
+    print(f"baseline (no tracer)      : {baseline:.4f} s  ({rate:,.0f} ev/s)")
+    print(f"tracer, all categories off: {disabled:.4f} s")
+    print(f"overhead                  : {overhead_pct:+.2f}%")
+    if args.assert_pct is not None and overhead_pct > args.assert_pct:
+        print(
+            f"FAIL: overhead {overhead_pct:.2f}% exceeds the "
+            f"{args.assert_pct:.1f}% budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

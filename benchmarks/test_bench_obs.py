@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the observability layer.
+
+Complements ``overhead_check.py`` (the CI gate on *disabled* tracing
+cost): these measure what observability costs when it is actually on —
+tracing a kernel run into a ring buffer, raw emit throughput, and the
+metric instruments' hot paths.
+"""
+
+from repro.des import Environment
+from repro.obs import KERNEL, Registry, RingBufferSink, Tracer, tracing
+
+
+def _timeout_chain(n):
+    env = Environment()
+
+    def chain(env):
+        for _ in range(n):
+            yield env.timeout(1.0)
+
+    env.process(chain(env))
+    env.run()
+    return env.now
+
+
+def test_bench_kernel_untraced(benchmark):
+    """Baseline for the traced variant below (no tracer installed)."""
+    assert benchmark(_timeout_chain, 20000) == 20000.0
+
+
+def test_bench_kernel_traced_ring(benchmark):
+    """The same chain with full kernel tracing into a ring buffer."""
+
+    def run():
+        with tracing(Tracer(sink=RingBufferSink(capacity=10_000))):
+            return _timeout_chain(20000)
+
+    assert benchmark(run) == 20000.0
+
+
+def test_bench_tracer_emit(benchmark):
+    """Raw emit throughput into a bounded ring buffer."""
+    tracer = Tracer(sink=RingBufferSink(capacity=1000))
+
+    def run():
+        emit = tracer.emit
+        for i in range(10000):
+            emit(KERNEL, "timer_set", 1.0, delay=1.0, eid=i)
+        return tracer.sink.total
+
+    assert benchmark(run) > 0
+
+
+def test_bench_counter_inc(benchmark):
+    """Labeled counter increments (the BandwidthLedger hot path)."""
+    registry = Registry()
+    counter = registry.counter(
+        "bench_total", "bench", ("session", "protocol", "category")
+    )
+
+    def run():
+        inc = counter.inc
+        for _ in range(10000):
+            inc(1000.0, session="s0", protocol="bench", category="new")
+        return counter.total()
+
+    assert benchmark(run) > 0
+
+
+def test_bench_histogram_observe(benchmark):
+    """Histogram observations (the receive-latency hot path)."""
+    registry = Registry()
+    histogram = registry.histogram(
+        "bench_seconds", "bench", ("session", "protocol")
+    )
+
+    def run():
+        observe = histogram.observe
+        for i in range(10000):
+            observe(i * 0.01, session="s0", protocol="bench")
+        return histogram.count(session="s0", protocol="bench")
+
+    assert benchmark(run) > 0

@@ -1,12 +1,16 @@
 """Command-line interface: ``python -m repro``.
 
-Three subcommands:
+Five subcommands:
 
 * ``analyze``    — evaluate the Section 3 closed forms at a parameter
   point (consistency, waste, latency, stability);
 * ``simulate``   — run one protocol session (open-loop | two-queue |
   feedback | arq | multicast | sstp) and print its metrics;
-* ``experiment`` — alias for ``python -m repro.experiments``.
+* ``experiment`` — alias for ``python -m repro.experiments``;
+* ``trace``      — run one experiment with structured tracing enabled
+  and stream the events to ``results/<id>/trace.jsonl``;
+* ``stats``      — run one experiment and print its merged metric
+  registry plus run telemetry.
 
 Examples::
 
@@ -15,16 +19,22 @@ Examples::
     python -m repro simulate feedback --loss 0.3 --data-kbps 40 \
         --feedback-kbps 5 --update-rate 15 --horizon 400
     python -m repro experiment figure8 --quick
+    python -m repro trace figure3 --category packet
+    python -m repro stats figure8
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis import OpenLoopModel
 from repro.experiments.__main__ import main as experiments_main
+from repro.obs import CATEGORIES, JsonlSink, Tracer, tracing
+from repro.obs.telemetry import write_telemetry
 from repro.protocols import (
     ArqSession,
     FeedbackSession,
@@ -139,6 +149,88 @@ def _simulate_sstp(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import run_experiment
+
+    out = args.out or os.path.join("results", args.experiment, "trace.jsonl")
+    os.makedirs(os.path.dirname(out) or ".", exist_ok=True)
+    tracer = Tracer(sink=JsonlSink(out), categories=args.category or None)
+    try:
+        # All categories share one JSONL sink, and forked workers would
+        # interleave writes into it — trace runs are always sequential.
+        with tracing(tracer):
+            result = run_experiment(
+                args.experiment,
+                quick=not args.full,
+                seed=args.seed,
+                jobs=1,
+            )
+    finally:
+        tracer.close()
+    write_telemetry(
+        os.path.join("results", args.experiment, "telemetry.json"),
+        result.telemetry,
+    )
+    tallies: Dict[str, int] = {}
+    shown = 0
+    with open(out, encoding="utf-8") as handle:
+        for line in handle:
+            row = json.loads(line)
+            tallies[row["cat"]] = tallies.get(row["cat"], 0) + 1
+            if shown < args.limit:
+                print(line.rstrip("\n"))
+                shown += 1
+    total = sum(tallies.values())
+    if total > shown:
+        print(f"... ({total - shown} more)")
+    summary = "  ".join(f"{cat}={n}" for cat, n in sorted(tallies.items()))
+    wanted = ",".join(args.category) if args.category else "all"
+    print(f"{total} events ({wanted}) -> {out}")
+    if summary:
+        print(f"by category: {summary}")
+    return 0
+
+
+def _stats(args: argparse.Namespace) -> int:
+    from repro.experiments.common import format_table
+    from repro.experiments.registry import run_experiment
+
+    result = run_experiment(
+        args.experiment, quick=not args.full, seed=args.seed, jobs=args.jobs
+    )
+    payload = result.telemetry
+    path = os.path.join("results", args.experiment, "telemetry.json")
+    write_telemetry(path, payload)
+    run = payload["run"]
+    print(f"== {args.experiment}: run telemetry ==")
+    print(
+        f"   cells={run['cells']}  events={run['events']}  "
+        f"events/s={run['events_per_sec']:.0f}  "
+        f"wall={run['wall_s']:.2f}s  jobs={run['jobs']}"
+    )
+    rows = []
+    for name, entry in payload["registry"].items():
+        for series in entry["series"]:
+            value = series["value"]
+            row = {
+                "instrument": name,
+                "kind": entry["kind"],
+                "labels": ",".join(series["labels"]) or "-",
+            }
+            if entry["kind"] == "histogram":
+                row["value"] = value["count"]
+                row["mean"] = (
+                    value["sum"] / value["count"] if value["count"] else ""
+                )
+            else:
+                row["value"] = value
+                row["mean"] = ""
+            rows.append(row)
+    print(format_table(rows) if rows else "   (no metric series)")
+    print(f"   telemetry -> {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -193,6 +285,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel worker processes per experiment (0 = one per CPU)",
     )
     experiment.set_defaults(func=None)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment with structured tracing to a JSONL file",
+    )
+    trace.add_argument("experiment", metavar="ID")
+    trace.add_argument(
+        "--category",
+        action="append",
+        choices=list(CATEGORIES),
+        help="enable only this category (repeatable; default: all)",
+    )
+    trace.add_argument(
+        "--out", metavar="PATH", help="default results/<ID>/trace.jsonl"
+    )
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="print at most N events (default 20; the file gets all)",
+    )
+    trace.add_argument(
+        "--full",
+        action="store_true",
+        help="full-scale sweeps (default: the --quick grid)",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.set_defaults(func=_trace)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run one experiment and print its metric registry + telemetry",
+    )
+    stats.add_argument("experiment", metavar="ID")
+    stats.add_argument(
+        "--full",
+        action="store_true",
+        help="full-scale sweeps (default: the --quick grid)",
+    )
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel worker processes (0 = one per CPU)",
+    )
+    stats.set_defaults(func=_stats)
 
     return parser
 

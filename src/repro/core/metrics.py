@@ -21,6 +21,9 @@ import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs import runtime as _obs
+from repro.obs.trace import WARNING as _WARNING
+
 
 class LatencyRecorder:
     """Tracks per-(key, version) introduction and first-receipt times.
@@ -28,15 +31,70 @@ class LatencyRecorder:
     Only successfully received items contribute to the mean — exactly
     the convention the paper uses ("the average T_recv is measured only
     over all successful transmissions").
+
+    The exact per-item bookkeeping here stays authoritative; the
+    recorder additionally publishes counters and a latency histogram
+    into the ambient :class:`repro.obs.Registry`, labeled by session
+    and protocol, so runs can be inspected without touching results.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, session: str = "", protocol: str = "") -> None:
         self._introduced: Dict[Tuple[Any, int], float] = {}
         self._latencies: List[float] = []
+        #: Re-introductions of a still-pending (key, version) — see
+        #: :meth:`introduced`.  The first timestamp stays authoritative.
+        self.duplicate_introductions = 0
+        self._labels = {"session": session, "protocol": protocol}
+        self._trace = _obs.current_tracer()
+        registry = _obs.registry()
+        label_names = ("session", "protocol")
+        self._m_introduced = registry.counter(
+            "repro_latency_introduced_total",
+            "Distinct (key, version) pairs entering the publisher table.",
+            label_names,
+        )
+        self._m_received = registry.counter(
+            "repro_latency_received_total",
+            "First receipts of a tracked (key, version) at a subscriber.",
+            label_names,
+        )
+        self._m_duplicates = registry.counter(
+            "repro_duplicate_introduction_total",
+            "introduced() calls for a (key, version) already pending.",
+            label_names,
+        )
+        self._h_latency = registry.histogram(
+            "repro_receive_latency_seconds",
+            "Receive latency T_recv: introduction to first receipt.",
+            label_names,
+        )
 
     def introduced(self, key: Any, version: int, now: float) -> None:
-        """A new value for (key, version) entered the publisher table."""
-        self._introduced.setdefault((key, version), now)
+        """A new value for (key, version) entered the publisher table.
+
+        Re-introducing a pair that is still pending keeps the *first*
+        timestamp (T_recv measures from when the datum first entered the
+        system), but is surfaced as a warning trace event and a
+        ``repro_duplicate_introduction_total`` increment rather than
+        silently ignored — it usually means a versioning bug upstream.
+        """
+        first = self._introduced.get((key, version))
+        if first is not None:
+            self.duplicate_introductions += 1
+            self._m_duplicates.inc(**self._labels)
+            tr = self._trace
+            if tr is not None and tr.warning:
+                tr.emit(
+                    _WARNING,
+                    "duplicate_introduction",
+                    now,
+                    key=key,
+                    version=version,
+                    first_introduced=first,
+                )
+            return
+        self._introduced[(key, version)] = now
+        self._m_introduced.inc(**self._labels)
 
     def received(self, key: Any, version: int, now: float) -> Optional[float]:
         """First receipt at a subscriber; returns the latency if new."""
@@ -45,6 +103,8 @@ class LatencyRecorder:
             return None  # duplicate receipt or never tracked
         latency = now - start
         self._latencies.append(latency)
+        self._m_received.inc(**self._labels)
+        self._h_latency.observe(latency, **self._labels)
         return latency
 
     def abandoned(self, key: Any, version: int) -> None:
@@ -98,9 +158,22 @@ class BandwidthLedger:
 
     CATEGORIES = ("new", "redundant", "repair", "summary", "feedback")
 
-    def __init__(self) -> None:
+    def __init__(self, session: str = "", protocol: str = "") -> None:
         self._bits: Dict[str, float] = {c: 0.0 for c in self.CATEGORIES}
         self._packets: Dict[str, int] = {c: 0 for c in self.CATEGORIES}
+        self._labels = {"session": session, "protocol": protocol}
+        registry = _obs.registry()
+        label_names = ("session", "protocol", "category")
+        self._m_bits = registry.counter(
+            "repro_bandwidth_bits_total",
+            "Bits sent, by purpose (Figure 4 accounting).",
+            label_names,
+        )
+        self._m_packets = registry.counter(
+            "repro_bandwidth_packets_total",
+            "Packets sent, by purpose.",
+            label_names,
+        )
 
     def add(self, category: str, bits: float, packets: int = 1) -> None:
         if category not in self._bits:
@@ -112,6 +185,8 @@ class BandwidthLedger:
             raise ValueError(f"bits must be non-negative, got {bits}")
         self._bits[category] += bits
         self._packets[category] += packets
+        self._m_bits.inc(bits, category=category, **self._labels)
+        self._m_packets.inc(packets, category=category, **self._labels)
 
     def bits(self, category: str) -> float:
         if category not in self._bits:
@@ -208,6 +283,16 @@ class RecoveryTracker:
         self.baseline_window = baseline_window
         self.windows: List[FaultWindow] = []
         self.false_expiry_events: List[Tuple[float, Any]] = []
+        registry = _obs.registry()
+        self._m_windows = registry.counter(
+            "repro_fault_windows_total",
+            "Fault windows registered on the recovery tracker.",
+            ("kind",),
+        )
+        self._m_false_expiries = registry.counter(
+            "repro_false_expiries_total",
+            "Receiver expirations of data the publisher still held.",
+        )
 
     # -- recording -----------------------------------------------------------
     def add_window(
@@ -217,11 +302,13 @@ class RecoveryTracker:
             raise ValueError(f"window ends ({end}) before it starts ({start})")
         window = FaultWindow(label=label, kind=kind, start=start, end=end)
         self.windows.append(window)
+        self._m_windows.inc(kind=kind)
         return window
 
     def note_false_expiry(self, now: float, key: Any) -> None:
         """A receiver's copy aged out while the publisher still held it."""
         self.false_expiry_events.append((now, key))
+        self._m_false_expiries.inc()
 
     @property
     def false_expiries(self) -> int:

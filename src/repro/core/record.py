@@ -19,6 +19,9 @@ import math
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from repro.obs import runtime as _obs
+from repro.obs.trace import RECORD as _RECORD
+
 
 @dataclass(slots=True)
 class Record:
@@ -68,6 +71,9 @@ class SoftStateTable:
         self.role = role
         self._records: Dict[Any, Record] = {}
         self._on_expire: List[ExpiryCallback] = []
+        #: Ambient tracer, cached at construction (guarded attribute —
+        #: hooks are no-ops unless tracing was installed via repro.obs).
+        self._trace = _obs.current_tracer()
         self.inserts = 0
         self.updates = 0
         self.deletes = 0
@@ -116,6 +122,16 @@ class SoftStateTable:
             )
             if expiry < self._next_expiry:
                 self._next_expiry = expiry
+            tr = self._trace
+            if tr is not None and tr.record:
+                tr.emit(
+                    _RECORD,
+                    "record_inserted",
+                    now,
+                    key=key,
+                    role=self.role,
+                    version=record.version,
+                )
             return record
         if version is None:
             existing.version += 1
@@ -141,6 +157,16 @@ class SoftStateTable:
         )
         if expiry < self._next_expiry:
             self._next_expiry = expiry
+        tr = self._trace
+        if tr is not None and tr.record:
+            tr.emit(
+                _RECORD,
+                "record_updated",
+                now,
+                key=key,
+                role=self.role,
+                version=existing.version,
+            )
         return existing
 
     def refresh(self, key: Any, now: float) -> bool:
@@ -149,6 +175,9 @@ class SoftStateTable:
         if record is None:
             return False
         record.last_refreshed = now
+        tr = self._trace
+        if tr is not None and tr.record:
+            tr.emit(_RECORD, "record_refreshed", now, key=key, role=self.role)
         return True
 
     def delete(self, key: Any) -> Optional[Record]:
@@ -156,6 +185,11 @@ class SoftStateTable:
         record = self._records.pop(key, None)
         if record is not None:
             self.deletes += 1
+            tr = self._trace
+            if tr is not None and tr.record:
+                # Deletion is initiated outside the table (no clock in
+                # scope), so the record carries no timestamp.
+                tr.emit(_RECORD, "record_deleted", None, key=key, role=self.role)
         return record
 
     def expire(self, now: float) -> List[Record]:
@@ -186,9 +220,20 @@ class SoftStateTable:
         # Reset before callbacks run: a callback may put() an
         # earlier-expiring record, which lowers the bound itself.
         self._next_expiry = math.inf
+        tr = self._trace
+        trace_records = tr is not None and tr.record
         for record in expired:
             del records[record.key]
             self.expirations += 1
+            if trace_records:
+                tr.emit(
+                    _RECORD,
+                    "record_expired",
+                    now,
+                    key=record.key,
+                    role=self.role,
+                    version=record.version,
+                )
             for callback in self._on_expire:
                 callback(record, now)
         nxt = math.inf

@@ -37,6 +37,9 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.obs import runtime as _obs
+from repro.obs.trace import KERNEL as _KERNEL
+
 #: Event priority for "urgent" bookkeeping events (process resumption
 #: after an interrupt, condition bookkeeping).  Lower sorts first.
 URGENT = 0
@@ -193,6 +196,10 @@ class Timeout(Event):
         self._delay = delay
         env._eid = eid = env._eid + 1
         _heappush(env._queue, (env._now + delay, NORMAL, eid, self))
+        if env._trace_kernel:
+            env._trace.emit(
+                _KERNEL, "timer_set", env._now, delay=delay, eid=eid
+            )
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self._delay}>"
@@ -230,6 +237,14 @@ class Process(Event):
         init._defused = False
         env._eid = eid = env._eid + 1
         _heappush(env._queue, (env._now, URGENT, eid, init))
+        if env._trace_kernel:
+            env._trace.emit(
+                _KERNEL,
+                "proc_scheduled",
+                env._now,
+                proc=getattr(generator, "__name__", str(generator)),
+                eid=eid,
+            )
 
     @property
     def target(self) -> Optional[Event]:
@@ -261,12 +276,28 @@ class Process(Event):
         interrupt_event._defused = True
         env._eid = eid = env._eid + 1
         _heappush(env._queue, (env._now, URGENT, eid, interrupt_event))
+        if env._trace_kernel:
+            env._trace.emit(
+                _KERNEL,
+                "proc_interrupted",
+                env._now,
+                proc=getattr(self._generator, "__name__", "?"),
+                cause=cause,
+            )
 
     def _resume(self, event: Event) -> None:
         """Advance the generator by one step with ``event``'s outcome."""
         env = self.env
         env._active_process = self
         generator = self._generator
+        if env._trace_kernel:
+            env._trace.emit(
+                _KERNEL,
+                "proc_resumed",
+                env._now,
+                proc=getattr(generator, "__name__", "?"),
+                ok=event._ok,
+            )
         while True:
             # Detach from the event we were waiting for.  If an interrupt
             # arrived while we waited on a still-pending event, we must
@@ -290,12 +321,29 @@ class Process(Event):
                 self._value = stop.value
                 env._eid = eid = env._eid + 1
                 _heappush(env._queue, (env._now, NORMAL, eid, self))
+                if env._trace_kernel:
+                    env._trace.emit(
+                        _KERNEL,
+                        "proc_ended",
+                        env._now,
+                        proc=getattr(generator, "__name__", "?"),
+                        ok=True,
+                    )
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
                 env._eid = eid = env._eid + 1
                 _heappush(env._queue, (env._now, NORMAL, eid, self))
+                if env._trace_kernel:
+                    env._trace.emit(
+                        _KERNEL,
+                        "proc_ended",
+                        env._now,
+                        proc=getattr(generator, "__name__", "?"),
+                        ok=False,
+                        error=repr(exc),
+                    )
                 break
 
             if type(next_event) is not Timeout and not isinstance(
@@ -398,18 +446,46 @@ class AnyOf(Condition):
 class Environment:
     """Execution environment: the event queue and the simulation clock."""
 
-    __slots__ = ("_now", "_queue", "_eid", "_active_process")
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_eid",
+        "_active_process",
+        "_trace",
+        "_trace_kernel",
+        "_eid_noted",
+    )
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: The ambient tracer, cached at construction (guarded attribute:
+        #: hooks are no-ops unless a tracer was installed via repro.obs).
+        tracer = _obs.current_tracer()
+        self._trace = tracer
+        #: Precomputed ``tracer is not None and tracer.kernel`` — the
+        #: kernel's hook sites run per event, so their disabled cost must
+        #: be a single attribute load and jump, not two.
+        self._trace_kernel = tracer is not None and tracer.kernel
+        #: Events already credited to run telemetry (see _note_events).
+        self._eid_noted = 0
 
     @property
     def now(self) -> float:
         """Current simulation time."""
         return self._now
+
+    @property
+    def tracer(self):
+        """The attached tracer, or None (tracing disabled)."""
+        return self._trace
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._trace = tracer
+        self._trace_kernel = tracer is not None and tracer.kernel
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -439,6 +515,10 @@ class Environment:
         event._delay = delay
         self._eid = eid = self._eid + 1
         _heappush(self._queue, (self._now + delay, NORMAL, eid, event))
+        if self._trace_kernel:
+            self._trace.emit(
+                _KERNEL, "timer_set", self._now, delay=delay, eid=eid
+            )
         return event
 
     def process(self, generator: Generator) -> Process:
@@ -466,6 +546,8 @@ class Environment:
             raise SimulationError("no more events")
         when, _, _, event = _heappop(self._queue)
         self._now = when
+        if self._trace_kernel:
+            self._emit_fired(self._trace, when, event)
         callbacks = event.callbacks
         event.callbacks = None
         for callback in callbacks:
@@ -473,6 +555,22 @@ class Environment:
         if not event._ok and not event._defused:
             # A failure nobody waited on: surface it instead of losing it.
             raise event._value
+
+    def _emit_fired(self, tr, when: float, event: Event) -> None:
+        """Trace one popped event (timer_fired for timeouts)."""
+        kind = type(event).__name__
+        tr.emit(
+            _KERNEL,
+            "timer_fired" if kind == "Timeout" else "event_fired",
+            when,
+            kind=kind,
+            ok=event._ok,
+        )
+
+    def _note_events(self) -> None:
+        """Credit newly scheduled kernel events to run telemetry."""
+        _obs.note_events(self._eid - self._eid_noted)
+        self._eid_noted = self._eid
 
     def run(self, until: Any = None) -> Any:
         """Run until the queue drains, a time is reached, or an event fires.
@@ -492,14 +590,37 @@ class Environment:
                     f"until={stop_time} is in the past (now={self._now})"
                 )
 
-        # The inlined body of step() below is the hottest loop in the
-        # repository; `queue` and `pop` are bound to locals on purpose.
-        queue = self._queue
-        pop = _heappop
+        try:
+            if self._trace_kernel:
+                # Tracing on: the dedicated loop below emits one record
+                # per popped event.  Scheduling order and timestamps are
+                # identical to the fast loops — only the emits differ.
+                return self._run_traced(self._trace, stop_event, stop_time)
 
-        if stop_event is None and stop_time == _INF:
-            # Fast drain: no stop condition to re-check per event.
+            # The inlined body of step() below is the hottest loop in the
+            # repository; `queue` and `pop` are bound to locals on purpose.
+            queue = self._queue
+            pop = _heappop
+
+            if stop_event is None and stop_time == _INF:
+                # Fast drain: no stop condition to re-check per event.
+                while queue:
+                    when, _, _, event = pop(queue)
+                    self._now = when
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                return None
+
             while queue:
+                if stop_event is not None and stop_event.callbacks is None:
+                    break
+                if queue[0][0] > stop_time:
+                    self._now = stop_time
+                    return None
                 when, _, _, event = pop(queue)
                 self._now = when
                 callbacks = event.callbacks
@@ -508,8 +629,23 @@ class Environment:
                     callback(event)
                 if not event._ok and not event._defused:
                     raise event._value
-            return None
 
+            return self._finish(stop_event, stop_time)
+        finally:
+            self._note_events()
+
+    def _run_traced(
+        self, tr, stop_event: Optional[Event], stop_time: float
+    ) -> Any:
+        """The general event loop plus a per-event trace emit.
+
+        Pop order, clock updates, and stop handling mirror :meth:`run`'s
+        untraced loops exactly, so a traced run's simulation results are
+        byte-identical to an untraced run of the same seed.
+        """
+        queue = self._queue
+        pop = _heappop
+        emit_fired = self._emit_fired
         while queue:
             if stop_event is not None and stop_event.callbacks is None:
                 break
@@ -518,13 +654,17 @@ class Environment:
                 return None
             when, _, _, event = pop(queue)
             self._now = when
+            emit_fired(tr, when, event)
             callbacks = event.callbacks
             event.callbacks = None
             for callback in callbacks:
                 callback(event)
             if not event._ok and not event._defused:
                 raise event._value
+        return self._finish(stop_event, stop_time)
 
+    def _finish(self, stop_event: Optional[Event], stop_time: float) -> Any:
+        """Common run() epilogue once the loop exits."""
         if stop_event is not None:
             if stop_event._value is PENDING:
                 raise SimulationError(

@@ -14,6 +14,8 @@ import hashlib
 import random
 from typing import Dict
 
+from repro.obs import runtime as _obs
+
 
 class RngStreams:
     """A family of named, independently seeded ``random.Random`` streams.
@@ -34,6 +36,9 @@ class RngStreams:
         if stream is None:
             stream = random.Random(self._derive(name))
             self._streams[name] = stream
+            # Run telemetry records which substreams a cell derived —
+            # a no-op outside the experiment runner's cell context.
+            _obs.note_rng_stream(f"{self.seed}:{name}")
         return stream
 
     def _derive(self, name: str) -> int:

@@ -10,9 +10,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.obs.telemetry import write_telemetry
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -48,6 +50,15 @@ def main(argv: list[str] | None = None) -> int:
             "(0 = one per CPU; output is byte-identical at any N)"
         ),
     )
+    parser.add_argument(
+        "--telemetry-dir",
+        default="results",
+        metavar="DIR",
+        help=(
+            "write run telemetry to DIR/<id>/telemetry.json "
+            "('' disables the file)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     requested = args.experiments or sorted(EXPERIMENTS)
@@ -58,6 +69,13 @@ def main(argv: list[str] | None = None) -> int:
             experiment_id, quick=args.quick, seed=args.seed, jobs=args.jobs
         )
         print(result.render())
+        if args.telemetry_dir and result.telemetry is not None:
+            write_telemetry(
+                os.path.join(
+                    args.telemetry_dir, experiment_id, "telemetry.json"
+                ),
+                result.telemetry,
+            )
         if args.plot:
             chart = _chart_for(experiment_id, result)
             if chart:

@@ -37,6 +37,11 @@ class ExperimentResult:
     rows: List[Row]
     parameters: Dict[str, Any] = field(default_factory=dict)
     notes: str = ""
+    #: Run telemetry payload (see :mod:`repro.obs.telemetry`), attached
+    #: by ``run_experiment``.  Not part of the reproduced series: wall
+    #: times vary run to run, so it never participates in rendering or
+    #: determinism checks.
+    telemetry: Optional[Dict[str, Any]] = None
 
     def series(self, x: str, y: str, group: Optional[str] = None) -> Dict[Any, List[tuple]]:
         """Group rows into {group_value: [(x, y), ...]} plot series."""

@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 import os
+import time
 from typing import Callable, Dict, Optional
+
+from repro.obs import telemetry as _telemetry
 
 from repro.experiments import (
     ext_convergence,
@@ -67,4 +70,17 @@ def run_experiment(
         ) from None
     if jobs is None:
         jobs = int(os.environ.get("REPRO_JOBS", "1"))
-    return runner(quick=quick, seed=seed, jobs=jobs)
+    from repro.experiments.runner import resolve_jobs
+
+    run = _telemetry.begin_run(experiment_id)
+    run.jobs = resolve_jobs(jobs)
+    run.seed = seed
+    run.quick = quick
+    start = time.perf_counter()
+    try:
+        result = runner(quick=quick, seed=seed, jobs=jobs)
+    finally:
+        _telemetry.end_run()
+    run.wall_s = time.perf_counter() - start
+    result.telemetry = run.as_dict()
+    return result

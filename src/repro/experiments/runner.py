@@ -24,7 +24,13 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Any, Callable, Dict, List, Optional, Sequence
+import time
+import tracemalloc
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import runtime as _obs
+from repro.obs import telemetry as _telemetry
+from repro.obs.telemetry import CellMeta
 
 __all__ = ["CellError", "map_cells", "resolve_jobs"]
 
@@ -50,13 +56,41 @@ def _cell_identity(fn: Callable[..., Any], index: int, kwargs: Cell) -> str:
     )
 
 
-def _run_cell(fn: Callable[..., Any], index: int, kwargs: Cell) -> Any:
+def _run_cell(
+    fn: Callable[..., Any], index: int, kwargs: Cell
+) -> Tuple[Any, CellMeta]:
+    """Run one cell inside an accounting context; returns (result, meta).
+
+    The meta travels with the result (pooled workers pickle both back),
+    so the parent process always owns telemetry aggregation.
+    """
+    sample_heap = _telemetry.tracemalloc_enabled()
     try:
-        return fn(**kwargs)
+        if sample_heap:
+            tracemalloc.start()
+        start = time.perf_counter()
+        with _obs.cell_context() as ctx:
+            result = fn(**kwargs)
+        wall = time.perf_counter() - start
+        peak = None
+        if sample_heap:
+            peak = tracemalloc.get_traced_memory()[1]
+            tracemalloc.stop()
     except Exception as exc:
+        if sample_heap and tracemalloc.is_tracing():
+            tracemalloc.stop()
         raise CellError(
             f"{_cell_identity(fn, index, kwargs)} failed: {exc!r}"
         ) from exc
+    meta = CellMeta(
+        index=index,
+        wall_s=wall,
+        events=ctx.events,
+        peak_heap_bytes=peak,
+        rng_streams=sorted(ctx.rng_streams),
+        registry=ctx.registry.snapshot(),
+    )
+    return result, meta
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -89,18 +123,27 @@ def map_cells(
     jobs = resolve_jobs(jobs)
     cells = list(cells)
     if jobs <= 1 or len(cells) <= 1:
-        return [
+        pairs = [
             _run_cell(fn, index, cell) for index, cell in enumerate(cells)
         ]
-
-    workers = min(jobs, len(cells))
-    context = _pool_context()
-    with context.Pool(processes=workers) as pool:
-        return pool.map(
-            _invoke,
-            [(fn, index, cell) for index, cell in enumerate(cells)],
-            chunksize=1,
-        )
+    else:
+        workers = min(jobs, len(cells))
+        context = _pool_context()
+        with context.Pool(processes=workers) as pool:
+            pairs = pool.map(
+                _invoke,
+                [(fn, index, cell) for index, cell in enumerate(cells)],
+                chunksize=1,
+            )
+    # Telemetry is recorded here, in the parent, in submission order —
+    # never in the workers — so the aggregate is jobs-independent.
+    run = _telemetry.active_run()
+    results = []
+    for result, meta in pairs:
+        if run is not None:
+            run.record_cell(meta)
+        results.append(result)
+    return results
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:

@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.core.metrics import FaultWindow, RecoveryTracker
 from repro.faults.schedule import Fault, FaultSchedule
+from repro.obs.trace import FAULT as _FAULT
 
 
 class FaultInjector:
@@ -45,7 +46,17 @@ class FaultInjector:
 
     def start(self) -> None:
         """Spawn one kernel process per scheduled fault."""
+        tr = self.env._trace
+        trace_faults = tr is not None and tr.fault
         for fault in self.schedule:
+            if trace_faults:
+                tr.emit(
+                    _FAULT,
+                    "fault_armed",
+                    self.env.now,
+                    fault=type(fault).__name__,
+                    label=getattr(fault, "label", None),
+                )
             self.env.process(self._arm(fault))
 
     def _arm(self, fault: Fault):
@@ -55,6 +66,17 @@ class FaultInjector:
         self, label: str, start: float, end: float, kind: str
     ) -> Optional[FaultWindow]:
         """Record a fault's active interval on the session's tracker."""
+        tr = self.env._trace
+        if tr is not None and tr.fault:
+            tr.emit(
+                _FAULT,
+                "fault_window",
+                self.env.now,
+                label=label,
+                start=start,
+                end=end,
+                kind=kind,
+            )
         if self.tracker is None:
             return None
         return self.tracker.add_window(label, start, end, kind)

@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict, Optional
 from repro.des import Environment, Store
 from repro.net.loss import LossModel, NoLoss
 from repro.net.packet import Packet, kbps_to_pps
+from repro.obs.trace import PACKET as _PACKET
 
 
 class Channel:
@@ -67,6 +68,17 @@ class Channel:
     def send(self, packet: Packet) -> None:
         """Enqueue ``packet``; the caller is never blocked."""
         packet.created_at = self.env.now
+        tr = self.env._trace
+        if tr is not None and tr.packet:
+            tr.emit(
+                _PACKET,
+                "packet_enqueued",
+                self.env.now,
+                kind=packet.kind,
+                seq=packet.seq,
+                size_bits=packet.size_bits,
+                backlog=len(self._queue),
+            )
         self._queue.put(packet)
 
     def transmit(self, packet: Packet):
@@ -103,6 +115,17 @@ class Channel:
             self.packets_sent += 1
             self.bits_sent += packet.size_bits
             lost = self.loss.is_lost()
+            tr = self.env._trace
+            if tr is not None and tr.packet:
+                tr.emit(
+                    _PACKET,
+                    "packet_sent",
+                    self.env.now,
+                    kind=packet.kind,
+                    seq=packet.seq,
+                    size_bits=packet.size_bits,
+                    lost=lost,
+                )
             for hook in self._serviced_hooks:
                 hook(packet, lost)
             completion = self._completions.pop(packet.uid, None)
@@ -110,6 +133,14 @@ class Channel:
                 completion.succeed(lost)
             if lost:
                 self.packets_dropped += 1
+                if tr is not None and tr.packet:
+                    tr.emit(
+                        _PACKET,
+                        "packet_lost",
+                        self.env.now,
+                        kind=packet.kind,
+                        seq=packet.seq,
+                    )
                 continue
             self.packets_delivered += 1
             if self.delay > 0:
@@ -122,6 +153,15 @@ class Channel:
         self._deliver(packet)
 
     def _deliver(self, packet: Packet) -> None:
+        tr = self.env._trace
+        if tr is not None and tr.packet:
+            tr.emit(
+                _PACKET,
+                "packet_delivered",
+                self.env.now,
+                kind=packet.kind,
+                seq=packet.seq,
+            )
         for sink in self._sinks:
             sink(packet)
 
@@ -240,6 +280,8 @@ class MulticastChannel:
             self.packets_sent += 1
             outcomes: Dict[Any, bool] = {}
             upstream_lost = self.shared_loss.is_lost()
+            tr = self.env._trace
+            trace_packets = tr is not None and tr.packet
             for receiver_id, (loss, sink) in list(self._receivers.items()):
                 if receiver_id in self._blocked:
                     outcomes[receiver_id] = True
@@ -250,10 +292,30 @@ class MulticastChannel:
                     continue
                 self.delivered_per_receiver[receiver_id] += 1
                 delivery = packet.copy_for(receiver_id)
+                if trace_packets:
+                    tr.emit(
+                        _PACKET,
+                        "packet_delivered",
+                        self.env.now,
+                        kind=packet.kind,
+                        seq=packet.seq,
+                        receiver=receiver_id,
+                    )
                 if self.delay > 0:
                     self.env.process(self._deliver_after(delivery, sink))
                 else:
                     sink(delivery)
+            if trace_packets:
+                tr.emit(
+                    _PACKET,
+                    "packet_sent",
+                    self.env.now,
+                    kind=packet.kind,
+                    seq=packet.seq,
+                    size_bits=packet.size_bits,
+                    receivers=len(outcomes),
+                    lost=sum(1 for v in outcomes.values() if v),
+                )
             for hook in self._serviced_hooks:
                 hook(packet, outcomes)
             completion = self._completions.pop(packet.uid, None)

@@ -1,0 +1,194 @@
+"""Ambient observability state: the installed tracer, the default
+metric registry, and the per-cell accounting context.
+
+Every layer of the system reaches observability the same way: it reads
+one module-level slot at *construction* time (an :class:`Environment`
+caches the current tracer, a :class:`BandwidthLedger` binds instruments
+from the current registry) and then uses plain guarded attributes on
+the hot path.  Nothing here is imported conditionally and nothing costs
+more than a ``None`` check when observability is off.
+
+Three pieces of ambient state live here:
+
+* the **tracer** (:func:`install_tracer` / :func:`current_tracer` /
+  :func:`tracing`), picked up by every ``Environment``, table, and
+  recorder created while it is installed;
+* the **registry stack** (:func:`registry` / :func:`push_registry` /
+  :func:`pop_registry`): the default :class:`~repro.obs.metrics.Registry`
+  instruments publish into.  The experiment runner pushes a fresh
+  registry around every cell so per-cell metrics never bleed into each
+  other and can be merged deterministically afterwards;
+* the **cell context** (:func:`cell_context`): wall-clock, kernel event
+  counts, RNG substream ids, and session numbering for the cell the
+  runner is currently executing.
+
+This module deliberately imports nothing from the rest of ``repro`` so
+that the kernel, the network model, and the metric views can all import
+it without cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional, Set
+
+from repro.obs.metrics import Registry
+
+__all__ = [
+    "CellContext",
+    "cell_context",
+    "current_cell",
+    "current_tracer",
+    "install_tracer",
+    "next_session_label",
+    "note_events",
+    "note_rng_stream",
+    "pop_registry",
+    "push_registry",
+    "registry",
+    "tracing",
+    "uninstall_tracer",
+]
+
+
+# -- tracer ----------------------------------------------------------------
+
+_tracer = None
+
+
+def install_tracer(tracer) -> None:
+    """Make ``tracer`` the ambient tracer for everything created next.
+
+    Objects cache the tracer at construction time (environments, tables,
+    recorders), so install it *before* building the model to trace.
+    """
+    global _tracer
+    _tracer = tracer
+
+
+def uninstall_tracer() -> None:
+    global _tracer
+    _tracer = None
+
+
+def current_tracer():
+    """The installed tracer, or ``None`` (the common, zero-cost case)."""
+    return _tracer
+
+
+@contextlib.contextmanager
+def tracing(tracer) -> Iterator:
+    """Install ``tracer`` for the duration of a ``with`` block."""
+    previous = _tracer
+    install_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        install_tracer(previous)
+
+
+# -- registry stack --------------------------------------------------------
+
+_registries: List[Registry] = [Registry()]
+
+
+def registry() -> Registry:
+    """The registry instruments bind to when none is passed explicitly."""
+    return _registries[-1]
+
+
+def push_registry(reg: Optional[Registry] = None) -> Registry:
+    """Make a (fresh by default) registry the ambient one; returns it."""
+    if reg is None:
+        reg = Registry()
+    _registries.append(reg)
+    return reg
+
+
+def pop_registry() -> Registry:
+    """Restore the previously ambient registry; returns the popped one."""
+    if len(_registries) == 1:
+        raise RuntimeError("cannot pop the root registry")
+    return _registries.pop()
+
+
+# -- cell context ----------------------------------------------------------
+
+
+class CellContext:
+    """Accounting scratchpad for one runner cell.
+
+    The kernel reports processed-event counts here, ``RngStreams``
+    reports the substream ids it derives, and metric views draw their
+    per-cell session numbering from :meth:`next_session_id` so labels
+    are deterministic regardless of how cells are distributed over
+    worker processes.
+    """
+
+    __slots__ = ("events", "rng_streams", "registry", "_next_session")
+
+    def __init__(self, registry: Registry) -> None:
+        self.events = 0
+        self.rng_streams: Set[str] = set()
+        self.registry = registry
+        self._next_session = 0
+
+    def next_session_id(self) -> int:
+        sid = self._next_session
+        self._next_session = sid + 1
+        return sid
+
+
+_cell: Optional[CellContext] = None
+#: Session numbering fallback used outside any cell context (direct
+#: library use, unit tests): still unique, just process-global.
+_global_session_counter = 0
+
+
+def current_cell() -> Optional[CellContext]:
+    return _cell
+
+
+@contextlib.contextmanager
+def cell_context() -> Iterator[CellContext]:
+    """Run one cell under a fresh registry and a fresh accounting context.
+
+    Nested use (a cell spawning sub-cells in-process) stacks cleanly:
+    the inner context temporarily shadows the outer one.
+    """
+    global _cell
+    previous = _cell
+    reg = push_registry()
+    _cell = ctx = CellContext(reg)
+    try:
+        yield ctx
+    finally:
+        _cell = previous
+        pop_registry()
+
+
+def note_events(count: int) -> None:
+    """Credit ``count`` processed kernel events to the active cell."""
+    if _cell is not None and count:
+        _cell.events += count
+
+
+def note_rng_stream(stream_id: str) -> None:
+    """Record that a deterministic RNG substream was derived."""
+    if _cell is not None:
+        _cell.rng_streams.add(stream_id)
+
+
+def next_session_label() -> str:
+    """A deterministic per-cell session label (``s0``, ``s1``, ...).
+
+    Inside a cell context the numbering restarts at ``s0`` for every
+    cell, so labels are identical whether cells run sequentially in one
+    process or forked over a pool.
+    """
+    global _global_session_counter
+    if _cell is not None:
+        return f"s{_cell.next_session_id()}"
+    sid = _global_session_counter
+    _global_session_counter = sid + 1
+    return f"s{sid}"

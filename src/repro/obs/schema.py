@@ -1,0 +1,176 @@
+"""A minimal JSON Schema validator (dependency-free, subset only).
+
+CI validates emitted trace JSONL and ``telemetry.json`` files against
+the schemas checked in under ``docs/``; pulling in the ``jsonschema``
+package for that would add a runtime dependency the container may not
+have, so this module implements exactly the draft-07 subset those
+schemas use:
+
+``type`` (string or list), ``properties``, ``required``,
+``additionalProperties`` (bool or schema), ``items``, ``enum``,
+``const``, ``minimum``, ``maximum``, ``minItems``, ``anyOf``.
+
+Usage as a module::
+
+    python -m repro.obs.schema results/figure3/trace.jsonl docs/trace.schema.json
+    python -m repro.obs.schema results/figure3/telemetry.json docs/telemetry.schema.json
+
+``.jsonl`` inputs are validated line by line; anything else is loaded
+as a single JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List
+
+__all__ = ["SchemaError", "validate", "validate_file"]
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(ValueError):
+    """The instance does not conform to the schema."""
+
+
+def _type_ok(value: Any, name: str) -> bool:
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    expected = _TYPES.get(name)
+    if expected is None:
+        raise SchemaError(f"schema names unsupported type {name!r}")
+    if expected is dict or expected is list or expected is str:
+        return isinstance(value, expected)
+    if expected is bool:
+        return isinstance(value, bool)
+    return value is None
+
+
+def validate(instance: Any, schema: Dict[str, Any], path: str = "$") -> None:
+    """Raise :class:`SchemaError` if ``instance`` violates ``schema``."""
+    if "const" in schema and instance != schema["const"]:
+        raise SchemaError(
+            f"{path}: expected const {schema['const']!r}, got {instance!r}"
+        )
+    if "enum" in schema and instance not in schema["enum"]:
+        raise SchemaError(
+            f"{path}: {instance!r} not one of {schema['enum']}"
+        )
+    if "type" in schema:
+        names = schema["type"]
+        if isinstance(names, str):
+            names = [names]
+        if not any(_type_ok(instance, name) for name in names):
+            raise SchemaError(
+                f"{path}: expected type {names}, "
+                f"got {type(instance).__name__} ({instance!r})"
+            )
+    if "anyOf" in schema:
+        errors: List[str] = []
+        for i, option in enumerate(schema["anyOf"]):
+            try:
+                validate(instance, option, f"{path}<anyOf:{i}>")
+                break
+            except SchemaError as exc:
+                errors.append(str(exc))
+        else:
+            raise SchemaError(
+                f"{path}: no anyOf branch matched ({'; '.join(errors)})"
+            )
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if "minimum" in schema and instance < schema["minimum"]:
+            raise SchemaError(
+                f"{path}: {instance} < minimum {schema['minimum']}"
+            )
+        if "maximum" in schema and instance > schema["maximum"]:
+            raise SchemaError(
+                f"{path}: {instance} > maximum {schema['maximum']}"
+            )
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                raise SchemaError(f"{path}: missing required key {name!r}")
+        properties = schema.get("properties", {})
+        for name, value in instance.items():
+            if name in properties:
+                validate(value, properties[name], f"{path}.{name}")
+            else:
+                extra = schema.get("additionalProperties", True)
+                if extra is False:
+                    raise SchemaError(f"{path}: unexpected key {name!r}")
+                if isinstance(extra, dict):
+                    validate(value, extra, f"{path}.{name}")
+    if isinstance(instance, list):
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            raise SchemaError(
+                f"{path}: {len(instance)} items < minItems "
+                f"{schema['minItems']}"
+            )
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, value in enumerate(instance):
+                validate(value, items, f"{path}[{i}]")
+
+
+def validate_file(data_path: str, schema_path: str) -> int:
+    """Validate a ``.json`` document or ``.jsonl`` stream; returns rows checked."""
+    with open(schema_path, encoding="utf-8") as handle:
+        schema = json.load(handle)
+    checked = 0
+    if data_path.endswith(".jsonl"):
+        with open(data_path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise SchemaError(
+                        f"{data_path}:{lineno}: not valid JSON ({exc})"
+                    ) from exc
+                try:
+                    validate(row, schema)
+                except SchemaError as exc:
+                    raise SchemaError(
+                        f"{data_path}:{lineno}: {exc}"
+                    ) from exc
+                checked += 1
+    else:
+        with open(data_path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        validate(document, schema)
+        checked = 1
+    return checked
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2:
+        print(
+            "usage: python -m repro.obs.schema <data.json|data.jsonl> "
+            "<schema.json>",
+            file=sys.stderr,
+        )
+        return 2
+    data_path, schema_path = argv
+    try:
+        checked = validate_file(data_path, schema_path)
+    except SchemaError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    unit = "rows" if data_path.endswith(".jsonl") else "document(s)"
+    print(f"OK: {data_path} — {checked} {unit} valid against {schema_path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

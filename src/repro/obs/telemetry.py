@@ -1,0 +1,165 @@
+"""Run telemetry: per-cell cost accounting and the ``telemetry.json`` file.
+
+The parallel runner wraps every cell in a
+:func:`repro.obs.runtime.cell_context`; this module holds what comes
+out of it — one :class:`CellMeta` per cell (wall time, kernel event
+count, events/sec, optional peak heap, the RNG substream ids the cell
+derived, and the cell's metric-registry snapshot) — plus the
+:class:`RunTelemetry` collector that aggregates cells into the
+machine-readable ``results/<experiment>/telemetry.json`` payload
+(validated by ``docs/telemetry.schema.json``).
+
+Peak-heap sampling uses :mod:`tracemalloc` and is opt-in via the
+``REPRO_TRACEMALLOC=1`` environment variable because it slows cells
+down noticeably; everything else is cheap enough to collect always.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import Registry
+
+__all__ = [
+    "CellMeta",
+    "RunTelemetry",
+    "TELEMETRY_SCHEMA_VERSION",
+    "active_run",
+    "begin_run",
+    "end_run",
+    "host_metadata",
+    "tracemalloc_enabled",
+    "write_telemetry",
+]
+
+TELEMETRY_SCHEMA_VERSION = 1
+
+
+def host_metadata() -> Dict[str, Any]:
+    """Enough host identity to compare telemetry across machines."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+    }
+
+
+def tracemalloc_enabled() -> bool:
+    return os.environ.get("REPRO_TRACEMALLOC", "") not in ("", "0")
+
+
+@dataclass
+class CellMeta:
+    """Cost accounting for one runner cell."""
+
+    index: int
+    wall_s: float
+    events: int
+    peak_heap_bytes: Optional[int] = None
+    rng_streams: List[str] = field(default_factory=list)
+    registry: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "wall_s": self.wall_s,
+            "events": self.events,
+            "events_per_sec": self.events_per_sec,
+            "peak_heap_bytes": self.peak_heap_bytes,
+            "rng_streams": self.rng_streams,
+        }
+
+
+class RunTelemetry:
+    """Per-run collector: cells arrive in submission order from the runner."""
+
+    def __init__(self, experiment_id: str = "") -> None:
+        self.experiment_id = experiment_id
+        self.cells: List[CellMeta] = []
+        self.wall_s = 0.0
+        self.jobs = 1
+        self.seed = 0
+        self.quick = False
+
+    def record_cell(self, meta: CellMeta) -> None:
+        self.cells.append(meta)
+
+    def merged_registry(self) -> Registry:
+        """Per-cell registry snapshots folded together, in cell order.
+
+        Counters and histograms sum across cells; because the fold
+        order is cell-submission order (not completion order), the
+        merged registry is identical for any ``--jobs`` value.
+        """
+        merged = Registry()
+        for meta in self.cells:
+            merged.merge(meta.registry)
+        return merged
+
+    @property
+    def events(self) -> int:
+        return sum(meta.events for meta in self.cells)
+
+    def as_dict(self) -> Dict[str, Any]:
+        events = self.events
+        return {
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "experiment": self.experiment_id,
+            "host": host_metadata(),
+            "run": {
+                "jobs": self.jobs,
+                "seed": self.seed,
+                "quick": self.quick,
+                "wall_s": self.wall_s,
+                "cells": len(self.cells),
+                "events": events,
+                "events_per_sec": (
+                    events / self.wall_s if self.wall_s > 0 else 0.0
+                ),
+            },
+            "cells": [meta.as_dict() for meta in self.cells],
+            "registry": self.merged_registry().snapshot(),
+        }
+
+
+def write_telemetry(path: str, payload: Dict[str, Any]) -> None:
+    """Write a telemetry payload as stable, human-diffable JSON."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+# -- ambient run collector --------------------------------------------------
+#
+# ``run_experiment`` begins a run; ``map_cells`` feeds cell metas to the
+# active collector (always from the parent process — pooled workers ship
+# their metas back with the cell result).  Nested runs stack.
+
+_runs: List[RunTelemetry] = []
+
+
+def begin_run(experiment_id: str = "") -> RunTelemetry:
+    run = RunTelemetry(experiment_id)
+    _runs.append(run)
+    return run
+
+
+def end_run() -> RunTelemetry:
+    if not _runs:
+        raise RuntimeError("no active telemetry run")
+    return _runs.pop()
+
+
+def active_run() -> Optional[RunTelemetry]:
+    return _runs[-1] if _runs else None

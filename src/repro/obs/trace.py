@@ -1,0 +1,193 @@
+"""Structured tracing: typed, timestamped events from every layer.
+
+A trace *record* is the compact tuple ``(t, category, event, fields)``:
+
+* ``t`` — simulation time (``None`` for events with no clock in scope,
+  e.g. a publisher-side delete issued from outside the kernel);
+* ``category`` — one of :data:`CATEGORIES`; each category can be
+  enabled or disabled independently;
+* ``event`` — a short snake_case event name within the category (the
+  taxonomy is documented in ``docs/OBSERVABILITY.md``);
+* ``fields`` — a flat dict of JSON-serializable detail.
+
+Hook sites follow one pattern — a *guarded attribute*::
+
+    tr = self._trace            # cached at construction, often None
+    if tr is not None and tr.kernel:
+        tr.emit(KERNEL, "timer_set", self._now, delay=delay)
+
+With no tracer installed the hook is a single load-and-jump; with a
+tracer installed but the category disabled it is two.  Emitting never
+touches an RNG or the event queue, so traced runs produce byte-identical
+simulation results.
+
+Sinks: :class:`RingBufferSink` keeps the last N records in memory;
+:class:`JsonlSink` streams records to a JSON-Lines file whose rows
+validate against ``docs/trace.schema.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as _TallyCounter
+from collections import deque
+from typing import Any, Dict, IO, Iterable, List, Optional, Tuple, Union
+
+__all__ = [
+    "CATEGORIES",
+    "FAULT",
+    "JsonlSink",
+    "KERNEL",
+    "PACKET",
+    "RECORD",
+    "RUN",
+    "RingBufferSink",
+    "Tracer",
+    "WARNING",
+    "record_as_dict",
+]
+
+KERNEL = "kernel"
+PACKET = "packet"
+RECORD = "record"
+FAULT = "fault"
+RUN = "run"
+WARNING = "warning"
+
+CATEGORIES: Tuple[str, ...] = (KERNEL, PACKET, RECORD, FAULT, RUN, WARNING)
+
+TraceRecord = Tuple[Optional[float], str, str, Dict[str, Any]]
+
+
+def record_as_dict(record: TraceRecord) -> Dict[str, Any]:
+    """Flatten a trace tuple into the JSONL row shape."""
+    t, category, event, fields = record
+    row: Dict[str, Any] = {"t": t, "cat": category, "ev": event}
+    row.update(fields)
+    return row
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a field value to something ``json.dumps`` accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return repr(value)
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` records in memory.
+
+    ``capacity=None`` keeps everything — convenient for tests and short
+    runs, dangerous for long ones.
+    """
+
+    def __init__(self, capacity: Optional[int] = 100_000) -> None:
+        self._records: deque = deque(maxlen=capacity)
+        self.total = 0
+
+    def write(self, record: TraceRecord) -> None:
+        self._records.append(record)
+        self.total += 1
+
+    def records(self) -> List[TraceRecord]:
+        return list(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """Records that have rotated out of the buffer."""
+        return self.total - len(self._records)
+
+    def close(self) -> None:  # symmetric with JsonlSink
+        pass
+
+
+class JsonlSink:
+    """Streams records to a JSON-Lines file, one object per line."""
+
+    def __init__(self, destination: Union[str, IO[str]]) -> None:
+        if isinstance(destination, str):
+            self._file: IO[str] = open(destination, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = destination
+            self._owns_file = False
+        self.total = 0
+
+    def write(self, record: TraceRecord) -> None:
+        row = {
+            key: _jsonable(value)
+            for key, value in record_as_dict(record).items()
+        }
+        self._file.write(json.dumps(row, separators=(",", ":")) + "\n")
+        self.total += 1
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+
+class Tracer:
+    """Dispatches trace records to a sink, with per-category gates.
+
+    The per-category flags are plain bool attributes (``tracer.kernel``,
+    ``tracer.packet``, ...) precomputed at construction so hook sites
+    pay two attribute loads, not a set lookup, to discover a disabled
+    category.
+    """
+
+    __slots__ = ("sink", "_enabled") + CATEGORIES
+
+    def __init__(
+        self,
+        sink: Optional[Any] = None,
+        categories: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.sink = sink if sink is not None else RingBufferSink()
+        enabled = (
+            set(CATEGORIES) if categories is None else set(categories)
+        )
+        unknown = enabled - set(CATEGORIES)
+        if unknown:
+            raise ValueError(
+                f"unknown trace categories {sorted(unknown)}; "
+                f"choose from {CATEGORIES}"
+            )
+        self._enabled = frozenset(enabled)
+        for category in CATEGORIES:
+            setattr(self, category, category in enabled)
+
+    def enabled(self, category: str) -> bool:
+        return category in self._enabled
+
+    def emit(
+        self,
+        category: str,
+        event: str,
+        t: Optional[float],
+        **fields: Any,
+    ) -> None:
+        """Write one record if ``category`` is enabled."""
+        if category in self._enabled:
+            self.sink.write((t, category, event, fields))
+
+    # -- convenience for in-memory sinks ------------------------------------
+    def records(
+        self, category: Optional[str] = None
+    ) -> List[TraceRecord]:
+        """Buffered records (ring-buffer sinks only), optionally filtered."""
+        records = self.sink.records()
+        if category is None:
+            return records
+        return [record for record in records if record[1] == category]
+
+    def counts(self) -> Dict[str, int]:
+        """Buffered record tallies by category (ring-buffer sinks only)."""
+        return dict(_TallyCounter(record[1] for record in self.sink.records()))
+
+    def close(self) -> None:
+        self.sink.close()

@@ -39,6 +39,7 @@ from repro.net import (
     Packet,
     TotalLoss,
 )
+from repro.obs import runtime as _obs
 from repro.workloads import PoissonUpdateWorkload, Workload
 
 
@@ -236,8 +237,14 @@ class BaseSession:
         self.data_channel = Channel(self.env, data_kbps, loss=loss)
 
         self.publisher = SoftStateTable("publisher")
-        self.latency = LatencyRecorder()
-        self.ledger = BandwidthLedger()
+        # Deterministic per-cell session label ("s0", "s1", ...) keys
+        # this session's series in the ambient metric registry.
+        session_label = _obs.next_session_label()
+        protocol = type(self).__name__
+        self.latency = LatencyRecorder(
+            session=session_label, protocol=protocol
+        )
+        self.ledger = BandwidthLedger(session=session_label, protocol=protocol)
         self.receiver = SoftStateReceiver(
             self.env,
             self.latency,

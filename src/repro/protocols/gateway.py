@@ -32,6 +32,7 @@ from typing import Any, Dict, Optional
 from repro.core import BandwidthLedger, ConsistencyMeter, LatencyRecorder, SoftStateTable
 from repro.des import Environment, RngStreams
 from repro.net import BernoulliLoss, Channel, Packet
+from repro.obs import runtime as _obs
 from repro.workloads import PoissonUpdateWorkload, Workload
 
 MODES = ("soft_state", "forwarder")
@@ -93,8 +94,12 @@ class GatewaySession:
         self.workload = workload
         self.announce_interval = announce_interval
         self.tick = tick
-        self.ledger = BandwidthLedger()
-        self.latency = LatencyRecorder()
+        session_label = _obs.next_session_label()
+        protocol = type(self).__name__
+        self.ledger = BandwidthLedger(session=session_label, protocol=protocol)
+        self.latency = LatencyRecorder(
+            session=session_label, protocol=protocol
+        )
 
         # Island A: publisher + fast local channel into the gateway.
         self.publisher = SoftStateTable("publisher")

@@ -38,6 +38,7 @@ from repro.core import (
 )
 from repro.des import Environment, Interrupt, RngStreams, SimulationError
 from repro.faults import FaultInjector, sender_side
+from repro.obs import runtime as _obs
 from repro.net import BernoulliLoss, CombinedLoss, MulticastChannel, Packet, TotalLoss
 from repro.protocols.states import RecordState, RecordStateMachine
 from repro.protocols.two_queue import COLD, HOT, make_scheduler
@@ -282,8 +283,12 @@ class MulticastFeedbackSession:
         self.feedback_channel = MulticastChannel(self.env, feedback_kbps)
 
         self.publisher = SoftStateTable("publisher")
-        self.latency = LatencyRecorder()
-        self.ledger = BandwidthLedger()
+        session_label = _obs.next_session_label()
+        protocol = type(self).__name__
+        self.latency = LatencyRecorder(
+            session=session_label, protocol=protocol
+        )
+        self.ledger = BandwidthLedger(session=session_label, protocol=protocol)
         self.scheduler = make_scheduler(scheduler, self.rng["scheduler"])
         self.scheduler.add_class(HOT, weight=hot_share)
         self.scheduler.add_class(COLD, weight=1.0 - hot_share)

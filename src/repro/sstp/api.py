@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.core import LatencyRecorder, RecoveryTracker
 from repro.des import Environment, RngStreams
 from repro.faults import FaultInjector, sender_side
+from repro.obs import runtime as _obs
 from repro.net import (
     BernoulliLoss,
     Channel,
@@ -136,7 +137,9 @@ class SstpSession:
         self.allocation = initial
 
         self.data_channel = MulticastChannel(self.env, data_kbps)
-        self.latency = LatencyRecorder()
+        self.latency = LatencyRecorder(
+            session=_obs.next_session_label(), protocol=type(self).__name__
+        )
         self.sender = SstpSender(
             self.env,
             self.data_channel,

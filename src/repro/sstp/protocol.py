@@ -33,6 +33,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from repro.core import BandwidthLedger, FaultReport, LatencyRecorder
 from repro.des import Environment, Interrupt
 from repro.net import Channel, MulticastChannel, Packet
+from repro.obs import runtime as _obs
 from repro.sched import HierarchicalScheduler
 from repro.sstp.namespace import Namespace
 from repro.sstp.receiver_report import LossEstimator, ReportBuilder
@@ -267,8 +268,13 @@ class SstpSender:
         self.adu_size_bits = adu_size_bits
         self.summary_interval_hint = summary_interval_hint
         self.loss_estimator = LossEstimator()
-        self.ledger = BandwidthLedger()
-        self.latency = latency if latency is not None else LatencyRecorder()
+        session_label = _obs.next_session_label()
+        self.ledger = BandwidthLedger(session=session_label, protocol="sstp")
+        self.latency = (
+            latency
+            if latency is not None
+            else LatencyRecorder(session=session_label, protocol="sstp")
+        )
         self._seq = 0
         self._hot_queued: set[Tuple[str, str]] = set()
         self.adu_packets = 0

@@ -1,0 +1,92 @@
+"""Observability must never perturb results: tracing is read-only.
+
+The regression pinned here is the observer effect — a tracer or metric
+hook that touches RNG state, event ordering, or timestamps would change
+experiment output.  Seeded runs with every trace category enabled must
+be byte-identical to untraced runs, for both an analytic experiment
+(figure3) and a full simulation (figure5).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments import run_experiment
+from repro.obs import CATEGORIES, RingBufferSink, Tracer, tracing
+
+
+def _run(experiment_id, traced):
+    if traced:
+        tracer = Tracer(sink=RingBufferSink(capacity=50_000), categories=CATEGORIES)
+        with tracing(tracer):
+            result = run_experiment(experiment_id, quick=True, seed=0, jobs=1)
+        return result, tracer
+    return run_experiment(experiment_id, quick=True, seed=0, jobs=1), None
+
+
+@pytest.mark.parametrize("experiment_id", ["figure3", "figure5"])
+def test_traced_run_is_byte_identical_to_untraced(experiment_id):
+    untraced, _ = _run(experiment_id, traced=False)
+    traced, tracer = _run(experiment_id, traced=True)
+    assert traced.rows == untraced.rows
+    assert traced.parameters == untraced.parameters
+    assert traced.render().encode() == untraced.render().encode()
+    if experiment_id == "figure5":
+        # the simulation actually produced events, so the equality above
+        # is not vacuous
+        assert tracer.sink.total > 0
+
+
+def test_latency_recorder_flags_duplicate_introduction():
+    from repro.core.metrics import LatencyRecorder
+    from repro.obs import WARNING
+
+    tracer = Tracer(categories=[WARNING])
+    with tracing(tracer):
+        recorder = LatencyRecorder(session="s0", protocol="test")
+        recorder.introduced("k", 1, now=1.0)
+        recorder.introduced("k", 1, now=5.0)  # re-introduction: ignored
+        recorder.received("k", 1, now=3.0)
+    assert recorder.duplicate_introductions == 1
+    assert recorder.mean() == 2.0  # measured from the FIRST introduction
+    records = tracer.records(WARNING)
+    assert len(records) == 1
+    t, cat, ev, fields = records[0]
+    assert ev == "duplicate_introduction"
+    assert fields == {"key": "k", "version": 1, "first_introduced": 1.0}
+
+
+# -- CLI smoke ---------------------------------------------------------------
+
+
+def test_cli_trace_and_stats_end_to_end(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert cli_main(["trace", "figure3", "--category", "packet"]) == 0
+    out = capsys.readouterr().out
+    assert "trace.jsonl" in out
+    assert os.path.exists("results/figure3/trace.jsonl")
+    assert os.path.exists("results/figure3/telemetry.json")
+
+    assert cli_main(["stats", "figure3"]) == 0
+    out = capsys.readouterr().out
+    assert "figure3" in out
+
+    payload = json.loads(open("results/figure3/telemetry.json").read())
+    assert payload["schema_version"] == 1
+    assert payload["experiment"] == "figure3"
+    assert payload["run"]["cells"] == len(payload["cells"])
+
+
+def test_cli_trace_writes_valid_jsonl(tmp_path, monkeypatch, capsys):
+    from repro.obs.schema import validate_file
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    monkeypatch.chdir(tmp_path)
+    assert cli_main(["trace", "figure5", "--category", "kernel", "--limit", "3"]) == 0
+    trace_path = os.path.join(str(tmp_path), "results", "figure5", "trace.jsonl")
+    checked = validate_file(
+        trace_path, os.path.join(repo_root, "docs", "trace.schema.json")
+    )
+    assert checked > 0

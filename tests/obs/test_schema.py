@@ -1,0 +1,148 @@
+"""The dependency-free JSON Schema subset validator used by CI."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.schema import SchemaError, main, validate, validate_file
+
+DOCS = os.path.join(os.path.dirname(__file__), "..", "..", "docs")
+TRACE_SCHEMA = os.path.join(DOCS, "trace.schema.json")
+
+
+# -- validate() --------------------------------------------------------------
+
+
+def test_type_keyword():
+    validate(1, {"type": "integer"})
+    validate(1.5, {"type": "number"})
+    validate(1, {"type": "number"})  # ints are numbers
+    validate(None, {"type": ["number", "null"]})
+    with pytest.raises(SchemaError, match="expected type"):
+        validate(True, {"type": "integer"})  # bools are not integers
+    with pytest.raises(SchemaError, match="expected type"):
+        validate("x", {"type": "number"})
+    with pytest.raises(SchemaError, match="unsupported type"):
+        validate(1, {"type": "decimal"})
+
+
+def test_const_and_enum():
+    validate(1, {"const": 1})
+    validate("kernel", {"enum": ["kernel", "packet"]})
+    with pytest.raises(SchemaError, match="expected const"):
+        validate(2, {"const": 1})
+    with pytest.raises(SchemaError, match="not one of"):
+        validate("bogus", {"enum": ["kernel", "packet"]})
+
+
+def test_required_and_additional_properties():
+    schema = {
+        "type": "object",
+        "required": ["a"],
+        "properties": {"a": {"type": "integer"}},
+        "additionalProperties": False,
+    }
+    validate({"a": 1}, schema)
+    with pytest.raises(SchemaError, match="missing required key 'a'"):
+        validate({}, schema)
+    with pytest.raises(SchemaError, match="unexpected key 'b'"):
+        validate({"a": 1, "b": 2}, schema)
+
+
+def test_additional_properties_as_schema():
+    schema = {"type": "object", "additionalProperties": {"type": "integer"}}
+    validate({"x": 1, "y": 2}, schema)
+    with pytest.raises(SchemaError):
+        validate({"x": "nope"}, schema)
+
+
+def test_items_min_items_and_bounds():
+    schema = {"type": "array", "minItems": 2, "items": {"minimum": 0, "maximum": 10}}
+    validate([0, 10], schema)
+    with pytest.raises(SchemaError, match="minItems"):
+        validate([1], schema)
+    with pytest.raises(SchemaError, match="minimum"):
+        validate([-1, 2], schema)
+    with pytest.raises(SchemaError, match="maximum"):
+        validate([1, 11], schema)
+
+
+def test_any_of():
+    schema = {"anyOf": [{"type": "number"}, {"type": "object"}]}
+    validate(1.0, schema)
+    validate({}, schema)
+    with pytest.raises(SchemaError, match="no anyOf branch matched"):
+        validate("x", schema)
+
+
+def test_error_paths_are_navigable():
+    schema = {
+        "type": "object",
+        "properties": {
+            "cells": {"type": "array", "items": {"type": "object"}}
+        },
+    }
+    with pytest.raises(SchemaError, match=r"\$\.cells\[1\]"):
+        validate({"cells": [{}, 7]}, schema)
+
+
+# -- validate_file() ---------------------------------------------------------
+
+
+def test_validate_jsonl_counts_rows(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    rows = [
+        {"t": 0.0, "cat": "kernel", "ev": "timer_set"},
+        {"t": None, "cat": "record", "ev": "record_deleted", "key": "k"},
+    ]
+    path.write_text("".join(json.dumps(row) + "\n" for row in rows) + "\n")
+    assert validate_file(str(path), TRACE_SCHEMA) == 2
+
+
+def test_validate_jsonl_reports_line_numbers(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text(
+        json.dumps({"t": 0.0, "cat": "kernel", "ev": "x"})
+        + "\n"
+        + json.dumps({"t": 0.0, "cat": "bogus", "ev": "x"})
+        + "\n"
+    )
+    with pytest.raises(SchemaError, match=r"trace\.jsonl:2"):
+        validate_file(str(path), TRACE_SCHEMA)
+
+
+def test_validate_jsonl_rejects_bad_json(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text("{not json}\n")
+    with pytest.raises(SchemaError, match="not valid JSON"):
+        validate_file(str(path), TRACE_SCHEMA)
+
+
+def test_validate_single_document(tmp_path):
+    schema_path = tmp_path / "s.json"
+    schema_path.write_text(json.dumps({"type": "object", "required": ["k"]}))
+    data_path = tmp_path / "d.json"
+    data_path.write_text(json.dumps({"k": 1}))
+    assert validate_file(str(data_path), str(schema_path)) == 1
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    schema_path = tmp_path / "s.json"
+    schema_path.write_text(json.dumps({"type": "object"}))
+    good = tmp_path / "good.json"
+    good.write_text("{}")
+    bad = tmp_path / "bad.json"
+    bad.write_text("[]")
+
+    assert main([str(good), str(schema_path)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+    assert main([str(bad), str(schema_path)]) == 1
+    assert "INVALID" in capsys.readouterr().err
+
+    assert main(["just-one-arg"]) == 2
+    assert "usage" in capsys.readouterr().err

@@ -1,0 +1,153 @@
+"""Run telemetry: cell accounting, the collector stack, and jobs invariance."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.runner import map_cells
+from repro.obs import Registry
+from repro.obs.schema import validate_file
+from repro.obs.telemetry import (
+    CellMeta,
+    RunTelemetry,
+    TELEMETRY_SCHEMA_VERSION,
+    active_run,
+    begin_run,
+    end_run,
+    host_metadata,
+    tracemalloc_enabled,
+    write_telemetry,
+)
+
+SCHEMA_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "..", "docs", "telemetry.schema.json"
+)
+
+
+def test_cell_meta_events_per_sec():
+    meta = CellMeta(index=0, wall_s=2.0, events=100)
+    assert meta.events_per_sec == 50.0
+    assert CellMeta(index=0, wall_s=0.0, events=100).events_per_sec == 0.0
+
+
+def test_run_telemetry_aggregates_cells():
+    run = RunTelemetry("exp")
+    run.wall_s = 1.0
+    run.record_cell(CellMeta(index=0, wall_s=0.4, events=30))
+    run.record_cell(CellMeta(index=1, wall_s=0.5, events=70))
+    assert run.events == 100
+    payload = run.as_dict()
+    assert payload["schema_version"] == TELEMETRY_SCHEMA_VERSION
+    assert payload["run"]["cells"] == 2
+    assert payload["run"]["events_per_sec"] == 100.0
+    assert [cell["index"] for cell in payload["cells"]] == [0, 1]
+
+
+def test_merged_registry_folds_cell_snapshots():
+    def snapshot(value):
+        registry = Registry()
+        registry.counter("c_total", "", ("session",)).inc(value, session="s0")
+        return registry.snapshot()
+
+    run = RunTelemetry("exp")
+    run.record_cell(CellMeta(index=0, wall_s=0.1, events=1, registry=snapshot(1.0)))
+    run.record_cell(CellMeta(index=1, wall_s=0.1, events=1, registry=snapshot(2.0)))
+    merged = run.merged_registry().snapshot()
+    assert merged["c_total"]["series"] == [{"labels": ["s0"], "value": 3.0}]
+
+
+def test_as_dict_validates_against_checked_in_schema(tmp_path):
+    run = RunTelemetry("figure3")
+    run.wall_s = 0.25
+    run.record_cell(
+        CellMeta(index=0, wall_s=0.1, events=10, rng_streams=["root/0"])
+    )
+    path = tmp_path / "telemetry.json"
+    write_telemetry(str(path), run.as_dict())
+    assert validate_file(str(path), SCHEMA_PATH) == 1
+    payload = json.loads(path.read_text())
+    assert payload["experiment"] == "figure3"
+
+
+def test_write_telemetry_creates_parent_dirs(tmp_path):
+    path = tmp_path / "nested" / "deeper" / "telemetry.json"
+    write_telemetry(str(path), {"k": 1})
+    assert json.loads(path.read_text()) == {"k": 1}
+
+
+def test_host_metadata_shape():
+    host = host_metadata()
+    assert set(host) == {"python", "implementation", "cpu_count", "platform"}
+    assert host["cpu_count"] >= 1
+
+
+def test_tracemalloc_flag(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACEMALLOC", raising=False)
+    assert not tracemalloc_enabled()
+    monkeypatch.setenv("REPRO_TRACEMALLOC", "0")
+    assert not tracemalloc_enabled()
+    monkeypatch.setenv("REPRO_TRACEMALLOC", "1")
+    assert tracemalloc_enabled()
+
+
+def test_run_stack_nests():
+    assert active_run() is None
+    outer = begin_run("outer")
+    inner = begin_run("inner")
+    assert active_run() is inner
+    assert end_run() is inner
+    assert active_run() is outer
+    assert end_run() is outer
+    assert active_run() is None
+    with pytest.raises(RuntimeError, match="no active telemetry run"):
+        end_run()
+
+
+# -- runner integration ------------------------------------------------------
+
+
+def _cell(x, scale=1.0):
+    from repro.des import Environment
+
+    env = Environment()
+
+    def proc(env):
+        for _ in range(x):
+            yield env.timeout(scale)
+
+    env.process(proc(env))
+    env.run()
+    return env.now
+
+
+def _map_with_jobs(jobs):
+    run = begin_run("jobs-test")
+    try:
+        results = map_cells(
+            _cell, [{"x": 3}, {"x": 5, "scale": 2.0}], jobs=jobs
+        )
+    finally:
+        end_run()
+    return results, run
+
+
+def test_map_cells_records_metas_in_submission_order():
+    results, run = _map_with_jobs(jobs=1)
+    assert results == [3.0, 10.0]
+    assert [meta.index for meta in run.cells] == [0, 1]
+    # each cell ran a real kernel, so events were counted
+    assert all(meta.events > 0 for meta in run.cells)
+    assert all(meta.wall_s >= 0.0 for meta in run.cells)
+
+
+def test_jobs_does_not_change_telemetry_shape():
+    results_1, run_1 = _map_with_jobs(jobs=1)
+    results_4, run_4 = _map_with_jobs(jobs=4)
+    assert results_1 == results_4
+    assert [m.index for m in run_1.cells] == [m.index for m in run_4.cells]
+    assert [m.events for m in run_1.cells] == [m.events for m in run_4.cells]
+    assert (
+        run_1.merged_registry().snapshot()
+        == run_4.merged_registry().snapshot()
+    )

@@ -1,0 +1,155 @@
+"""Tracer, sinks, and the golden kernel trace.
+
+The golden-trace test pins the exact event stream a tiny, fully
+deterministic kernel scenario produces: three scheduled things (two
+timers and a process end) whose trace must never change shape without a
+deliberate schema bump.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.des import Environment
+from repro.obs import (
+    CATEGORIES,
+    KERNEL,
+    PACKET,
+    JsonlSink,
+    RingBufferSink,
+    Tracer,
+    record_as_dict,
+    tracing,
+)
+
+
+def three_event_scenario():
+    """One process, two timers: the smallest interesting kernel run."""
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        yield env.timeout(2.0)
+
+    env.process(proc(env))
+    env.run()
+    return env
+
+
+#: The exact kernel trace of the scenario above.  This is a contract:
+#: hook placement, event names, and field sets changing is a breaking
+#: change to the trace schema, not an implementation detail.
+GOLDEN_KERNEL_TRACE = [
+    (0.0, "kernel", "proc_scheduled", {"proc": "proc", "eid": 1}),
+    (0.0, "kernel", "event_fired", {"kind": "Event", "ok": True}),
+    (0.0, "kernel", "proc_resumed", {"proc": "proc", "ok": True}),
+    (0.0, "kernel", "timer_set", {"delay": 1.0, "eid": 2}),
+    (1.0, "kernel", "timer_fired", {"kind": "Timeout", "ok": True}),
+    (1.0, "kernel", "proc_resumed", {"proc": "proc", "ok": True}),
+    (1.0, "kernel", "timer_set", {"delay": 2.0, "eid": 3}),
+    (3.0, "kernel", "timer_fired", {"kind": "Timeout", "ok": True}),
+    (3.0, "kernel", "proc_resumed", {"proc": "proc", "ok": True}),
+    (3.0, "kernel", "proc_ended", {"proc": "proc", "ok": True}),
+    (3.0, "kernel", "event_fired", {"kind": "Process", "ok": True}),
+]
+
+
+def test_golden_three_event_kernel_trace():
+    tracer = Tracer()
+    with tracing(tracer):
+        env = three_event_scenario()
+    assert env.now == 3.0
+    assert tracer.records() == GOLDEN_KERNEL_TRACE
+
+
+def test_tracing_disabled_emits_nothing():
+    tracer = Tracer()
+    three_event_scenario()  # built outside the tracing() block
+    assert tracer.records() == []
+
+
+def test_category_gating():
+    tracer = Tracer(categories=[PACKET])
+    with tracing(tracer):
+        three_event_scenario()
+    assert tracer.records() == []  # kernel category is off
+    assert not tracer.kernel and tracer.packet
+    assert tracer.enabled(PACKET) and not tracer.enabled(KERNEL)
+
+
+def test_unknown_category_rejected():
+    with pytest.raises(ValueError, match="unknown trace categories"):
+        Tracer(categories=["bogus"])
+    assert Tracer(categories=CATEGORIES).enabled(KERNEL)
+
+
+def test_emit_respects_category_at_emit_time():
+    tracer = Tracer(categories=[KERNEL])
+    tracer.emit(PACKET, "packet_sent", 1.0, seq=0)
+    tracer.emit(KERNEL, "timer_set", 1.0, delay=1.0)
+    assert tracer.counts() == {"kernel": 1}
+    assert tracer.records(PACKET) == []
+
+
+def test_ring_buffer_capacity_and_dropped():
+    sink = RingBufferSink(capacity=3)
+    tracer = Tracer(sink=sink)
+    for i in range(5):
+        tracer.emit(KERNEL, "timer_set", float(i), eid=i)
+    assert sink.total == 5
+    assert sink.dropped == 2
+    assert [record[0] for record in sink.records()] == [2.0, 3.0, 4.0]
+
+
+def test_jsonl_sink_rows_are_flat_json(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = JsonlSink(str(path))
+    tracer = Tracer(sink=sink)
+    with tracing(tracer):
+        three_event_scenario()
+    tracer.close()
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(rows) == len(GOLDEN_KERNEL_TRACE)
+    assert rows[0] == {
+        "t": 0.0,
+        "cat": "kernel",
+        "ev": "proc_scheduled",
+        "proc": "proc",
+        "eid": 1,
+    }
+    assert all({"t", "cat", "ev"} <= set(row) for row in rows)
+
+
+def test_jsonl_sink_coerces_non_json_fields():
+    buffer = io.StringIO()
+    sink = JsonlSink(buffer)
+    tracer = Tracer(sink=sink)
+    key = object()
+    tracer.emit(KERNEL, "timer_set", None, key=key, pair=(1, 2))
+    row = json.loads(buffer.getvalue())
+    assert row["t"] is None
+    assert row["key"] == repr(key)
+    assert row["pair"] == [1, 2]
+
+
+def test_record_as_dict_flattens():
+    record = (2.5, "packet", "packet_sent", {"seq": 7})
+    assert record_as_dict(record) == {
+        "t": 2.5,
+        "cat": "packet",
+        "ev": "packet_sent",
+        "seq": 7,
+    }
+
+
+def test_nested_tracing_restores_previous():
+    outer = Tracer()
+    inner = Tracer()
+    with tracing(outer):
+        with tracing(inner):
+            env = Environment()
+            assert env.tracer is inner
+        env = Environment()
+        assert env.tracer is outer
+    assert Environment().tracer is None
