@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-json overhead-check experiments experiments-quick examples clean
+.PHONY: install test lint bench bench-json overhead-check experiments experiments-quick examples clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -10,6 +10,11 @@ install:
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Static determinism & simulation-safety analysis (docs/LINT.md).
+# Exit codes: 0 clean, 1 findings/baseline drift, 2 usage error.
+lint:
+	PYTHONPATH=$(CURDIR)/src $(PYTHON) -m repro lint src benchmarks examples --baseline lint-baseline.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -4,9 +4,8 @@
 ``BENCH_micro.json`` so successive PRs can track the perf trajectory.
 """
 
-import random
-
 from repro.des import Environment
+from repro.des.rng import RngStreams
 from repro.experiments.runner import map_cells
 from repro.sched import StrideScheduler, WfqScheduler
 from repro.sstp import Namespace
@@ -50,7 +49,7 @@ def test_bench_wfq_throughput(benchmark):
         scheduler = WfqScheduler()
         scheduler.add_class("a", weight=1.0)
         scheduler.add_class("b", weight=2.0)
-        rng = random.Random(1)
+        rng = RngStreams(seed=1)["wfq-bench"]
         for i in range(5000):
             scheduler.enqueue("a", i, size=rng.uniform(0.5, 2.0))
             scheduler.enqueue("b", i, size=rng.uniform(0.5, 2.0))
@@ -64,7 +63,7 @@ def test_bench_wfq_throughput(benchmark):
 
 def _runner_cell(n_events: float, seed: int) -> float:
     """One runner cell: a small seeded simulation, as experiments submit."""
-    rng = random.Random(seed)
+    rng = RngStreams(seed=seed)["cell"]
     env = Environment()
 
     def clock(env):

@@ -54,7 +54,7 @@ def test_bench_counter_inc(benchmark):
     """Labeled counter increments (the BandwidthLedger hot path)."""
     registry = Registry()
     counter = registry.counter(
-        "bench_total", "bench", ("session", "protocol", "category")
+        "repro_bench_ops_total", "bench", ("session", "protocol", "category")
     )
 
     def run():
@@ -70,7 +70,7 @@ def test_bench_histogram_observe(benchmark):
     """Histogram observations (the receive-latency hot path)."""
     registry = Registry()
     histogram = registry.histogram(
-        "bench_seconds", "bench", ("session", "protocol")
+        "repro_bench_seconds", "bench", ("session", "protocol")
     )
 
     def run():

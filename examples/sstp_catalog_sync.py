@@ -17,8 +17,7 @@ Run::
     python examples/sstp_catalog_sync.py
 """
 
-import random
-
+from repro.des.rng import RngStreams
 from repro.sstp import ReliabilityLevel, SstpSession
 from repro.sstp.congestion import SteppedCongestionManager
 
@@ -52,7 +51,7 @@ def main() -> None:
             ),
         )
 
-    rng = random.Random(10)
+    rng = RngStreams(seed=10)["catalog"]
 
     def publisher(env):
         index = 0

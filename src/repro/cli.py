@@ -10,7 +10,9 @@ Five subcommands:
 * ``trace``      — run one experiment with structured tracing enabled
   and stream the events to ``results/<id>/trace.jsonl``;
 * ``stats``      — run one experiment and print its merged metric
-  registry plus run telemetry.
+  registry plus run telemetry;
+* ``lint``       — static determinism & simulation-safety analysis
+  (see docs/LINT.md).
 
 Examples::
 
@@ -21,6 +23,7 @@ Examples::
     python -m repro experiment figure8 --quick
     python -m repro trace figure3 --category packet
     python -m repro stats figure8
+    python -m repro lint src benchmarks examples --baseline lint-baseline.json
 """
 
 from __future__ import annotations
@@ -334,6 +337,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel worker processes (0 = one per CPU)",
     )
     stats.set_defaults(func=_stats)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static determinism & simulation-safety analysis",
+    )
+    from repro.lint import cli as lint_cli
+
+    lint_cli.add_arguments(lint)
+    lint.set_defaults(func=lint_cli.run)
 
     return parser
 

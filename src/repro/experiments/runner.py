@@ -68,10 +68,12 @@ def _run_cell(
     try:
         if sample_heap:
             tracemalloc.start()
-        start = time.perf_counter()
+        # Host wall time is the *measurement target* here (per-cell cost
+        # telemetry); it never feeds simulation state.
+        start = time.perf_counter()  # repro-lint: disable=RPR002
         with _obs.cell_context() as ctx:
             result = fn(**kwargs)
-        wall = time.perf_counter() - start
+        wall = time.perf_counter() - start  # repro-lint: disable=RPR002
         peak = None
         if sample_heap:
             peak = tracemalloc.get_traced_memory()[1]

@@ -1,0 +1,48 @@
+"""``repro.lint`` — AST-based determinism & simulation-safety analyzer.
+
+Every quantitative claim this reproduction makes — the Section 3
+consistency curves, the fault-recovery results, byte-identical
+``--jobs 1`` vs ``--jobs N`` merges, traced-vs-untraced equality —
+rests on invariants no example-based test can fully enforce:
+simulation code must never touch wall-clock time, global or
+fixed-seed-cloned RNG, or order-unstable iteration on its results
+path, and observability hooks must stay behind their precomputed
+guards.  This package checks those invariants statically, using only
+the standard library (``ast`` + ``tokenize``).
+
+Public surface::
+
+    from repro.lint import lint_paths, lint_source, RULES
+    findings = lint_paths(["src", "benchmarks", "examples"])
+
+Rule catalogue, suppression syntax, and exit codes: docs/LINT.md.
+"""
+
+from repro.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import (
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.findings import Finding, SEVERITIES
+from repro.lint.rules import RULES, Rule, all_codes
+
+__all__ = [
+    "Finding",
+    "SEVERITIES",
+    "RULES",
+    "Rule",
+    "all_codes",
+    "lint_paths",
+    "lint_file",
+    "lint_source",
+    "iter_python_files",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]

@@ -1,0 +1,89 @@
+"""Checked-in baseline: grandfather pre-existing findings, catch drift.
+
+The baseline file (``lint-baseline.json`` at the repo root) lists
+findings that existed when the linter was introduced.  CI fails on any
+finding *not* in the baseline — new hazards never land — and also on
+any baseline entry that no longer matches a real finding (stale
+entries must be deleted as their code is fixed, so the baseline only
+ever shrinks).
+
+Entries match on ``(path, code, line)``.  A fixed line number is a
+deliberate choice: unrelated edits that shift a grandfathered finding
+force the author to look at it, which is how baselined debt gets paid
+down.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != BASELINE_VERSION
+        or not isinstance(payload.get("findings"), list)
+    ):
+        raise ValueError(
+            f"{path}: not a v{BASELINE_VERSION} lint baseline "
+            "(expected {'version': 1, 'findings': [...]})"
+        )
+    for entry in payload["findings"]:
+        if not {"path", "code", "line"} <= set(entry):
+            raise ValueError(
+                f"{path}: baseline entry missing path/code/line: {entry}"
+            )
+    return payload
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Serialise current findings as a fresh baseline."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "path": f.path,
+                "code": f.code,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in sorted(findings, key=Finding.sort_key)
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, Any]
+) -> Tuple[List[Finding], List[Dict[str, Any]]]:
+    """Split findings into (new, stale-baseline-entries).
+
+    A finding matched by a baseline entry is grandfathered (dropped
+    from the returned list); a baseline entry matching no finding is
+    stale and returned for the caller to fail on.
+    """
+    keys = {
+        (entry["path"], entry["code"], entry["line"]): entry
+        for entry in baseline["findings"]
+    }
+    matched = set()
+    new: List[Finding] = []
+    for finding in findings:
+        key = (finding.path, finding.code, finding.line)
+        if key in keys:
+            matched.add(key)
+        else:
+            new.append(finding)
+    stale = [
+        entry for key, entry in sorted(keys.items()) if key not in matched
+    ]
+    return new, stale

@@ -1,0 +1,156 @@
+"""``repro lint`` — command-line front end for the analyzer.
+
+Usage::
+
+    python -m repro lint [PATH ...] [--format text|json]
+                         [--baseline FILE] [--write-baseline FILE]
+
+Exit codes (stable contract, relied on by CI and the Makefile):
+
+* ``0`` — clean: no findings beyond the baseline, no stale baseline
+  entries;
+* ``1`` — non-baselined findings and/or stale baseline entries;
+* ``2`` — usage or environment error (missing path, unreadable
+  baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import lint_paths
+from repro.lint.findings import Finding
+
+DEFAULT_PATHS = ["src", "benchmarks", "examples"]
+
+#: JSON payload schema version for --format json.
+OUTPUT_VERSION = 1
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the lint arguments (shared with the repro CLI)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint "
+        f"(default: {' '.join(DEFAULT_PATHS)}, those that exist)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (json is stable for editor/CI consumption)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="grandfather findings listed in this baseline; stale "
+        "entries fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings to FILE as a fresh baseline and "
+        "exit 0",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    paths = list(args.paths)
+    if not paths:
+        paths = [p for p in DEFAULT_PATHS if os.path.exists(p)]
+        if not paths:
+            print(
+                "repro lint: no paths given and none of "
+                f"{DEFAULT_PATHS} exist", file=sys.stderr,
+            )
+            return 2
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(
+            f"repro lint: no such path: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    findings = lint_paths(paths)
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(
+            f"wrote {len(findings)} finding(s) to {args.write_baseline}"
+        )
+        return 0
+
+    stale: List[dict] = []
+    reported = findings
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        reported, stale = apply_baseline(findings, baseline)
+
+    if args.format == "json":
+        _print_json(reported, stale)
+    else:
+        _print_text(reported, stale, baselined=len(findings) - len(reported))
+    return 1 if (reported or stale) else 0
+
+
+def _print_json(findings: List[Finding], stale: List[dict]) -> None:
+    counts = {"error": 0, "warning": 0}
+    for finding in findings:
+        counts[finding.severity] = counts.get(finding.severity, 0) + 1
+    payload = {
+        "version": OUTPUT_VERSION,
+        "findings": [f.as_dict() for f in findings],
+        "counts": counts,
+        "stale_baseline": stale,
+    }
+    print(json.dumps(payload, indent=1))
+
+
+def _print_text(
+    findings: List[Finding], stale: List[dict], baselined: int
+) -> None:
+    for finding in findings:
+        print(finding.render())
+    for entry in stale:
+        print(
+            f"{entry['path']}:{entry['line']}: stale baseline entry for "
+            f"{entry['code']} (finding no longer present — delete it "
+            "from the baseline)"
+        )
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    summary = f"{errors} error(s), {warnings} warning(s)"
+    if baselined:
+        summary += f", {baselined} baselined"
+    if stale:
+        summary += f", {len(stale)} stale baseline entr(y/ies)"
+    print(summary if (findings or stale or baselined) else "clean: " + summary)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based determinism & simulation-safety analyzer",
+    )
+    add_arguments(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""File walking, parsing, suppression handling, and rule dispatch.
+
+The engine parses each file once, extracts inline suppressions from the
+token stream, instantiates every registered rule whose path scope
+matches, and returns the surviving findings sorted by location.
+
+Suppression syntax (checked against the comment tokens, so it works on
+any physical line, including inside expressions)::
+
+    something_hot()        # repro-lint: disable=RPR002
+    # repro-lint: disable-next=RPR001,RPR004
+    value = draw()
+
+``disable=all`` silences every rule for that line.  Suppressions are
+deliberately line-scoped — there is no file- or block-level off switch,
+so every exemption is visible next to the code it exempts.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.lint.findings import Finding
+from repro.lint.rules import PARSE_ERROR_CODE, RULES, FileContext
+
+#: Directories never descended into.
+PRUNE_DIRS = {
+    ".git",
+    "__pycache__",
+    ".pytest_cache",
+    ".benchmarks",
+    ".hypothesis",
+    "results",
+    "build",
+    "dist",
+    ".eggs",
+}
+
+_SUPPRESSION = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-next)=([A-Za-z0-9_,\s]+)"
+)
+
+
+def normalize_path(path: str) -> str:
+    """Repo-relative posix form when possible, else posix as given."""
+    try:
+        relative = os.path.relpath(path)
+    except ValueError:  # different drive on windows
+        relative = path
+    if not relative.startswith(".."):
+        path = relative
+    return path.replace(os.sep, "/")
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield .py files under ``paths`` in a deterministic order."""
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs if d not in PRUNE_DIRS)
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def collect_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number → set of suppressed codes (or {"all"})."""
+    suppressed: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION.search(token.string)
+            if not match:
+                continue
+            mode, raw = match.groups()
+            codes = {
+                code.strip().upper() if code.strip().lower() != "all"
+                else "all"
+                for code in raw.split(",")
+                if code.strip()
+            }
+            line = token.start[0] + (1 if mode == "disable-next" else 0)
+            suppressed.setdefault(line, set()).update(codes)
+    except tokenize.TokenizeError:
+        pass  # the parse-error finding covers unreadable files
+    return suppressed
+
+
+def _is_suppressed(
+    finding: Finding, suppressions: Dict[int, Set[str]]
+) -> bool:
+    codes = suppressions.get(finding.line)
+    if not codes:
+        return False
+    return "all" in codes or finding.code in codes
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    codes: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one source string as if it lived at ``path``.
+
+    ``codes`` restricts the run to a subset of rule codes (used by the
+    fixture tests); default is every registered rule.
+    """
+    path = normalize_path(path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=PARSE_ERROR_CODE,
+                rule="parse-error",
+                severity="error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path, source, tree)
+    suppressions = collect_suppressions(source)
+    wanted = set(codes) if codes is not None else None
+    findings: List[Finding] = []
+    for code in sorted(RULES):
+        if wanted is not None and code not in wanted:
+            continue
+        rule = RULES[code]()
+        if not rule.applies(path):
+            continue
+        for finding in rule.check(ctx):
+            if not _is_suppressed(finding, suppressions):
+                findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def lint_file(
+    path: str, codes: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path=path, codes=codes)
+
+
+def lint_paths(
+    paths: Sequence[str], codes: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint every python file under ``paths``; sorted findings."""
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, codes=codes))
+    findings.sort(key=Finding.sort_key)
+    return findings

@@ -1,0 +1,44 @@
+"""Finding record shared by the rule engine, baseline, and CLI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+#: Recognised severity levels, most severe first.  Both levels gate the
+#: build (any non-baselined finding fails); the split exists so output
+#: consumers can triage.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str  #: posix-normalised, repo-relative where possible
+    line: int  #: 1-based
+    col: int  #: 0-based (ast convention)
+    code: str  #: e.g. "RPR001"
+    rule: str  #: short kebab-case rule name
+    severity: str  #: one of SEVERITIES
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.severity}] {self.message}"
+        )

@@ -9,10 +9,18 @@ Probabilistically fair with no per-class virtual-time state.
 
 from __future__ import annotations
 
+import itertools
 import random
 from typing import Optional
 
+from repro.des.rng import RngStreams
 from repro.sched.base import Scheduler
+
+#: Default-rng substream family (same scheme as repro.net.loss): every
+#: scheduler built without an explicit rng gets its own numbered
+#: substream, so two side-by-side lotteries never replay one sequence.
+_DEFAULT_STREAMS = RngStreams(seed=0x5C_4ED)
+_DEFAULT_COUNTER = itertools.count()
 
 
 class LotteryScheduler(Scheduler):
@@ -20,7 +28,9 @@ class LotteryScheduler(Scheduler):
 
     def __init__(self, rng: random.Random | None = None) -> None:
         super().__init__()
-        self._rng = rng if rng is not None else random.Random(0)
+        if rng is None:
+            rng = _DEFAULT_STREAMS[f"lottery-{next(_DEFAULT_COUNTER)}"]
+        self._rng = rng
 
     def _select(self) -> Optional[str]:
         backlogged = self._backlogged()

@@ -1,0 +1,151 @@
+"""CLI contract: exit codes, JSON schema, baseline gating, docs meta-test."""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint import all_codes
+from repro.lint.cli import OUTPUT_VERSION
+
+HAZARD = textwrap.dedent(
+    """
+    import random
+
+    def draw():
+        return random.random()
+    """
+)
+
+CLEAN = "VALUE = 42\n"
+
+
+@pytest.fixture()
+def project(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "clean.py").write_text(CLEAN)
+    return tmp_path
+
+
+def test_exit_zero_on_clean_tree(project, capsys):
+    assert repro_main(["lint", "clean.py"]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(project, capsys):
+    (project / "hazard.py").write_text(HAZARD)
+    assert repro_main(["lint", "hazard.py"]) == 1
+    out = capsys.readouterr().out
+    assert "RPR001" in out and "hazard.py:5" in out
+
+
+def test_exit_two_on_missing_path(project, capsys):
+    assert repro_main(["lint", "nope.py"]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_exit_two_on_unreadable_baseline(project, capsys):
+    (project / "broken.json").write_text("{not json")
+    assert repro_main(
+        ["lint", "clean.py", "--baseline", "broken.json"]
+    ) == 2
+
+
+def test_json_output_schema(project, capsys):
+    (project / "hazard.py").write_text(HAZARD)
+    assert repro_main(["lint", "hazard.py", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == OUTPUT_VERSION
+    assert payload["counts"] == {"error": 1, "warning": 0}
+    assert payload["stale_baseline"] == []
+    (finding,) = payload["findings"]
+    assert set(finding) == {
+        "path", "line", "col", "code", "rule", "severity", "message",
+    }
+    assert finding["code"] == "RPR001"
+    assert finding["severity"] == "error"
+
+
+def test_write_then_use_baseline_gates_only_new_findings(project, capsys):
+    (project / "hazard.py").write_text(HAZARD)
+    assert repro_main(
+        ["lint", "hazard.py", "--write-baseline", "baseline.json"]
+    ) == 0
+    capsys.readouterr()
+
+    # Grandfathered: exit 0 even though the finding still exists.
+    assert repro_main(
+        ["lint", "hazard.py", "--baseline", "baseline.json"]
+    ) == 0
+
+    # A new hazard on top of the baselined one fails the run.
+    (project / "hazard.py").write_text(HAZARD + "\nimport time\nT = time.time()\n")
+    assert repro_main(
+        ["lint", "hazard.py", "--baseline", "baseline.json"]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "RPR002" in out and "baselined" in out
+
+
+def test_stale_baseline_entry_fails_the_run(project, capsys):
+    (project / "hazard.py").write_text(HAZARD)
+    assert repro_main(
+        ["lint", "hazard.py", "--write-baseline", "baseline.json"]
+    ) == 0
+    (project / "hazard.py").write_text(CLEAN)  # hazard fixed
+    assert repro_main(
+        ["lint", "hazard.py", "--baseline", "baseline.json"]
+    ) == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_stale_baseline_surfaces_in_json(project, capsys):
+    (project / "hazard.py").write_text(HAZARD)
+    repro_main(["lint", "hazard.py", "--write-baseline", "baseline.json"])
+    capsys.readouterr()
+    (project / "hazard.py").write_text(CLEAN)
+    assert repro_main(
+        ["lint", "hazard.py", "--baseline", "baseline.json",
+         "--format", "json"]
+    ) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"] == []
+    assert [e["code"] for e in payload["stale_baseline"]] == ["RPR001"]
+
+
+def test_default_paths_used_when_none_given(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src" / "hazard.py").write_text(HAZARD)
+    assert repro_main(["lint"]) == 1
+    assert "RPR001" in capsys.readouterr().out
+
+
+def test_every_registered_code_is_documented():
+    """Meta-test: docs/LINT.md has a section for every rule code."""
+    root = os.path.join(os.path.dirname(__file__), "..", "..")
+    with open(os.path.join(root, "docs", "LINT.md"), encoding="utf-8") as f:
+        catalogue = f.read()
+    for code in all_codes():
+        assert code in catalogue, f"{code} missing from docs/LINT.md"
+
+
+def test_repo_tree_lints_clean_against_checked_in_baseline():
+    """The acceptance gate, as a test: src/benchmarks/examples clean."""
+    root = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "..")
+    )
+    cwd = os.getcwd()
+    os.chdir(root)
+    try:
+        code = repro_main(
+            ["lint", "src", "benchmarks", "examples",
+             "--baseline", "lint-baseline.json"]
+        )
+    finally:
+        os.chdir(cwd)
+    assert code == 0

@@ -134,3 +134,34 @@ def test_combined_loss_drops_if_any_component_drops():
 def test_combined_loss_rejects_empty():
     with pytest.raises(ValueError):
         CombinedLoss([])
+
+
+def test_seeded_models_are_creation_order_independent():
+    """An explicitly seeded model's stream must not depend on how many
+    other models were default-constructed before it (the per-instance
+    default-RNG counter is global process state)."""
+    from repro.des.rng import RngStreams
+
+    def stream(order_noise):
+        for _ in range(order_noise):
+            BernoulliLoss(0.5)  # advances the default-stream counter
+            GilbertElliottLoss(p_gb=0.1, p_bg=0.4, good_loss=0.0,
+                               bad_loss=0.9)
+        bern = BernoulliLoss(0.3, rng=RngStreams(seed=7)["bern"])
+        ge = GilbertElliottLoss(p_gb=0.1, p_bg=0.4, good_loss=0.01,
+                                bad_loss=0.8,
+                                rng=RngStreams(seed=7)["ge"])
+        return ([bern.is_lost() for _ in range(200)],
+                [ge.is_lost() for _ in range(200)])
+
+    assert stream(order_noise=0) == stream(order_noise=5)
+
+
+def test_default_rngs_are_per_instance_not_clones():
+    """Two default-constructed models must draw from distinct
+    substreams — a shared or cloned RNG makes 'independent' channels
+    drop identical packets."""
+    a, b = BernoulliLoss(0.5), BernoulliLoss(0.5)
+    draws_a = [a.is_lost() for _ in range(200)]
+    draws_b = [b.is_lost() for _ in range(200)]
+    assert draws_a != draws_b
