@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-json overhead-check experiments experiments-quick examples clean
+.PHONY: install test lint bench bench-json bench-cache overhead-check experiments experiments-quick examples clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -27,6 +27,14 @@ bench-json:
 	$(PYTHON) -m pytest benchmarks/test_bench_micro.py --benchmark-only \
 		--benchmark-json=BENCH_micro.json
 	$(PYTHON) benchmarks/annotate_bench.py BENCH_micro.json
+
+# Result-cache macro-benchmark (docs/CACHE.md): cold vs warm quick
+# run-all against a fresh store.  Asserts a fully-warm second pass with
+# byte-identical output, a >= 5x warm speedup, and < 2% dispatch
+# overhead when the cache is disabled; emits BENCH_runall.json.
+bench-cache:
+	$(PYTHON) benchmarks/bench_cache.py --assert-warm --assert-speedup 5 \
+		--assert-overhead-pct 2 --out BENCH_runall.json
 
 # CI gate: tracing hooks must cost < 3% on the kernel when disabled.
 overhead-check:

@@ -25,7 +25,25 @@ from typing import Dict, Iterable, Sequence, Tuple
 
 import numpy as np
 
+from repro.cache.memo import memoize
+
 Flow = Tuple[str, str]  # (queue name, class name)
+
+
+@memoize()
+def _traffic_throughputs(
+    n: int, routing: bytes, external: bytes
+) -> Tuple[float, ...]:
+    """Memoized traffic-equation solve: (I - R^T) lambda = gamma.
+
+    Keyed on the raw matrix bytes so structurally identical networks —
+    rebuilt per grid cell by :class:`~repro.analysis.openloop.
+    OpenLoopModel` — pay the ``np.linalg.solve`` once per process.  The
+    returned tuple is immutable, satisfying the memoizer's contract.
+    """
+    lhs = np.eye(n) - np.frombuffer(routing, dtype=float).reshape(n, n).T
+    throughputs = np.linalg.solve(lhs, np.frombuffer(external, dtype=float))
+    return tuple(float(value) for value in throughputs)
 
 
 @dataclass(frozen=True)
@@ -104,13 +122,14 @@ class JacksonNetwork:
         lambda = gamma + R^T lambda  =>  (I - R^T) lambda = gamma.
         """
         n = len(self._flows)
-        lhs = np.eye(n) - self._routing.T
-        throughputs = np.linalg.solve(lhs, self._external)
-        if np.any(throughputs < -1e-9):
+        throughputs = _traffic_throughputs(
+            n, self._routing.tobytes(), self._external.tobytes()
+        )
+        if any(value < -1e-9 for value in throughputs):
             raise ValueError("traffic equations produced a negative throughput")
-        throughputs = np.clip(throughputs, 0.0, None)
         per_flow = {
-            flow: float(throughputs[i]) for flow, i in self._index.items()
+            flow: max(throughputs[i], 0.0)
+            for flow, i in self._index.items()
         }
         utilization = {}
         for name, queue in self.queues.items():

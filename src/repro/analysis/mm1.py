@@ -11,6 +11,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.cache.memo import memoize
+
 
 @dataclass(frozen=True)
 class MM1Metrics:
@@ -37,8 +39,13 @@ class MM1Metrics:
         return math.exp(-(self.service_rate - self.arrival_rate) * t)
 
 
+@memoize()
 def mm1_metrics(arrival_rate: float, service_rate: float) -> MM1Metrics:
-    """Solve an M/M/1 queue; raises for an unstable system (rho >= 1)."""
+    """Solve an M/M/1 queue; raises for an unstable system (rho >= 1).
+
+    Memoized per process (:mod:`repro.cache.memo`): grids re-solve the
+    same operating point per cell, and the frozen result is shareable.
+    """
     if arrival_rate < 0:
         raise ValueError(f"arrival rate must be non-negative, got {arrival_rate}")
     if service_rate <= 0:

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.analysis.jackson import JacksonNetwork, JacksonSolution, QueueSpec
+from repro.cache.memo import memoize
 
 #: Class labels used throughout (paper's "inconsistent"/"consistent").
 INCONSISTENT = "inconsistent"
@@ -70,10 +71,13 @@ def transition_matrix(p_loss: float, p_death: float) -> Dict[str, Dict[str, floa
     }
 
 
+@memoize()
 def consistent_fraction(p_loss: float, p_death: float) -> float:
     """q = lam_C / lam_total, the served traffic that is already consistent.
 
     This equals the redundant-bandwidth fraction of Figure 4.
+    Memoized per process: every Figure 3/4 curve re-evaluates the same
+    ``(p_loss, p_death)`` points.
     """
     _validate_probability("p_loss", p_loss)
     _validate_probability("p_death", p_death)
@@ -93,6 +97,7 @@ def redundant_bandwidth_fraction(p_loss: float, p_death: float) -> float:
     return consistent_fraction(p_loss, p_death)
 
 
+@memoize()
 def expected_consistency(
     p_loss: float, p_death: float, update_rate: float, channel_rate: float
 ) -> float:
@@ -115,6 +120,7 @@ def expected_consistency(
     return consistent_fraction(p_loss, p_death) * min(rho, 1.0)
 
 
+@memoize()
 def eventual_receipt_probability(p_loss: float, p_death: float) -> float:
     """P[a record is received at least once before it dies].
 
@@ -211,7 +217,17 @@ class OpenLoopModel:
         return network
 
     def solve(self) -> OpenLoopSolution:
-        """Evaluate every closed form at this parameter point."""
+        """Evaluate every closed form at this parameter point.
+
+        Memoized across instances (the solution is frozen): grid code
+        that builds a fresh model per cell still solves each distinct
+        parameter point once per process.
+        """
+        return _solve_point(
+            self.update_rate, self.channel_rate, self.p_loss, self.p_death
+        )
+
+    def _solve_uncached(self) -> OpenLoopSolution:
         denom = 1.0 - self.p_loss * (1.0 - self.p_death)
         lambda_i = self.update_rate / denom
         lambda_c = (
@@ -268,3 +284,16 @@ class OpenLoopModel:
         attempts = 1.0 / (1.0 - self.p_loss * (1.0 - self.p_death))
         sojourn = 1.0 / (self.channel_rate - lambda_total)
         return attempts * sojourn
+
+
+@memoize()
+def _solve_point(
+    update_rate: float, channel_rate: float, p_loss: float, p_death: float
+) -> OpenLoopSolution:
+    """Per-process solve table keyed by the four model parameters."""
+    return OpenLoopModel(
+        update_rate=update_rate,
+        channel_rate=channel_rate,
+        p_loss=p_loss,
+        p_death=p_death,
+    )._solve_uncached()

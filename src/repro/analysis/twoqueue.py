@@ -39,6 +39,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.cache.memo import memoize
+
 
 @dataclass(frozen=True)
 class TwoQueueApproximation:
@@ -104,8 +106,13 @@ class TwoQueueApproximation:
             return math.inf
         return self.live_records / self.cold_rate
 
+    @memoize()
     def consistency(self) -> float:
-        """Approximate E[c(t)] (see module docstring for derivation)."""
+        """Approximate E[c(t)] (see module docstring for derivation).
+
+        Memoized per process, keyed by the frozen parameter fields —
+        instances with equal parameters share the solve.
+        """
         if not self.is_stable:
             # Hot overload: new records queue indefinitely; only the
             # served fraction mu_hot/lam ever has a chance, and each
@@ -124,6 +131,7 @@ class TwoQueueApproximation:
         )
         return (1.0 - p) * first / (1.0 - p * cycle_factor)
 
+    @memoize()
     def receive_latency(self) -> float:
         """Approximate E[T_recv] over eventually-received records.
 

@@ -1,0 +1,52 @@
+"""Content-addressed result caching for the experiment pipeline.
+
+Two layers, both transparent to experiment code (see docs/CACHE.md):
+
+* the **result store** (:class:`ResultCache`): each runner cell's
+  result persists under ``results/.cache/`` keyed by the cell function,
+  its canonicalized kwargs, the cache schema version, and a fingerprint
+  of every ``repro.*`` source the cell transitively imports — so
+  ``repro run-all --cache`` becomes incremental: unchanged cells are
+  lookups, edited code recomputes exactly what it invalidates;
+* the **solver memoizer** (:func:`memoize`): per-process O(1) repeats
+  for the pure analytic solves (Jackson / M/M/1 / open-loop /
+  two-queue) inside one grid.
+
+Merged experiment output is byte-identical whether cells were computed
+or served from cache, at any ``--jobs`` value; corrupt or stale entries
+silently fall back to recompute.
+"""
+
+from repro.cache.fingerprint import (
+    clear_fingerprint_cache,
+    code_fingerprint,
+    module_closure,
+)
+from repro.cache.keys import CACHE_SCHEMA_VERSION, canonicalize, cell_key
+from repro.cache.memo import clear_memos, memo_stats, memoize
+from repro.cache.runtime import active_cache, caching, resolve_cache
+from repro.cache.store import (
+    CacheEntry,
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheEntry",
+    "CacheStats",
+    "ResultCache",
+    "active_cache",
+    "caching",
+    "canonicalize",
+    "cell_key",
+    "clear_fingerprint_cache",
+    "clear_memos",
+    "code_fingerprint",
+    "default_cache_dir",
+    "memo_stats",
+    "memoize",
+    "module_closure",
+    "resolve_cache",
+]

@@ -1,0 +1,92 @@
+"""In-process memoization for the pure analytic solvers.
+
+Experiment grids re-derive the same closed forms thousands of times —
+every Figure 3 curve evaluates :func:`~repro.analysis.openloop.
+consistent_fraction` at each sweep point, and simulation cells solve
+the same M/M/1 point per cell.  These solves are pure (parameters in,
+immutable value out), so a per-process table makes repeats O(1).
+
+This layer is deliberately distinct from the content-addressed store:
+
+* it lives **inside** a process (workers inherit an empty table on
+  fork), so it never touches disk and needs no invalidation — a code
+  edit means a new process;
+* its hit counts are **process-local** (:func:`memo_stats`), *not*
+  published to the per-cell metric registry: which cell warms the
+  table depends on how cells land on workers, and per-cell metrics
+  must stay byte-identical across ``--jobs`` values.
+
+Only decorate functions whose return values are immutable (floats,
+frozen dataclasses): hits return the *same object*, so a mutable
+return value would let one caller corrupt every later caller.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Dict, List, Tuple, TypeVar
+
+__all__ = ["clear_memos", "memo_stats", "memoize"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Default per-function entry bound; oldest-inserted entries are evicted.
+DEFAULT_MAXSIZE = 65536
+
+_tables: List[Tuple[str, Dict[Any, Any]]] = []
+_hits = 0
+_misses = 0
+
+
+def memoize(maxsize: int = DEFAULT_MAXSIZE) -> Callable[[F], F]:
+    """Memoize a pure function of hashable arguments.
+
+    Eviction is oldest-inserted-first once ``maxsize`` is reached —
+    grids sweep parameters monotonically, so insertion age tracks
+    usefulness closely enough without per-hit bookkeeping.
+    """
+    if maxsize <= 0:
+        raise ValueError(f"maxsize must be positive, got {maxsize}")
+
+    def decorate(fn: F) -> F:
+        table: Dict[Any, Any] = {}
+        _tables.append((f"{fn.__module__}.{fn.__qualname__}", table))
+        sentinel = object()
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            global _hits, _misses
+            key = (args, tuple(sorted(kwargs.items()))) if kwargs else args
+            value = table.get(key, sentinel)
+            if value is not sentinel:
+                _hits += 1
+                return value
+            _misses += 1
+            value = fn(*args, **kwargs)
+            if len(table) >= maxsize:
+                table.pop(next(iter(table)))
+            table[key] = value
+            return value
+
+        wrapper.__wrapped__ = fn
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def memo_stats() -> Dict[str, Any]:
+    """Process-local accounting: aggregate hits/misses and table sizes."""
+    return {
+        "hits": _hits,
+        "misses": _misses,
+        "tables": {name: len(table) for name, table in sorted(_tables)},
+    }
+
+
+def clear_memos() -> None:
+    """Empty every memo table and zero the counters (test isolation)."""
+    global _hits, _misses
+    for _, table in _tables:
+        table.clear()
+    _hits = 0
+    _misses = 0

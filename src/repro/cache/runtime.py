@@ -1,0 +1,55 @@
+"""Ambient cache activation, mirroring the observability runtime.
+
+``map_cells`` is called from inside every experiment's ``run``; rather
+than threading a cache handle through 15 experiment signatures, the
+active cache lives in one module-level slot that ``run_experiment``
+installs around the run (the same pattern as the ambient tracer and
+registry in :mod:`repro.obs.runtime`).  No cache installed — the
+default — costs one ``None`` read per ``map_cells`` call.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator, Optional
+
+from repro.cache.store import ResultCache
+
+__all__ = ["active_cache", "caching", "resolve_cache"]
+
+_active: Optional[ResultCache] = None
+
+
+def active_cache() -> Optional[ResultCache]:
+    """The installed cache, or ``None`` (the zero-cost common case)."""
+    return _active
+
+
+@contextlib.contextmanager
+def caching(cache: Optional[ResultCache]) -> Iterator[Optional[ResultCache]]:
+    """Install ``cache`` (or explicitly none) for a ``with`` block."""
+    global _active
+    previous = _active
+    _active = cache
+    try:
+        yield cache
+    finally:
+        _active = previous
+
+
+def resolve_cache(
+    enabled: Optional[bool] = None, root: Optional[str] = None
+) -> Optional[ResultCache]:
+    """Turn a tri-state ``--cache/--no-cache`` flag into a cache (or not).
+
+    ``True`` and ``False`` are explicit; ``None`` defers to the
+    ``REPRO_CACHE`` environment variable (off unless set truthy), so
+    scripted pipelines can opt whole invocations in without touching
+    every command line.
+    """
+    if enabled is None:
+        enabled = os.environ.get("REPRO_CACHE", "") not in ("", "0")
+    if not enabled:
+        return None
+    return ResultCache(root)

@@ -1,12 +1,16 @@
 """Command-line interface: ``python -m repro``.
 
-Five subcommands:
+Subcommands:
 
 * ``analyze``    — evaluate the Section 3 closed forms at a parameter
   point (consistency, waste, latency, stability);
 * ``simulate``   — run one protocol session (open-loop | two-queue |
   feedback | arq | multicast | sstp) and print its metrics;
 * ``experiment`` — alias for ``python -m repro.experiments``;
+* ``run-all``    — every experiment in one go; with ``--cache``,
+  incrementally (unchanged cells come from the result store);
+* ``cache``      — inspect or maintain the content-addressed result
+  store (``stats`` | ``clear`` | ``gc``; see docs/CACHE.md);
 * ``trace``      — run one experiment with structured tracing enabled
   and stream the events to ``results/<id>/trace.jsonl``;
 * ``stats``      — run one experiment and print its merged metric
@@ -21,6 +25,8 @@ Examples::
     python -m repro simulate feedback --loss 0.3 --data-kbps 40 \
         --feedback-kbps 5 --update-rate 15 --horizon 400
     python -m repro experiment figure8 --quick
+    python -m repro run-all --quick --jobs 4 --cache
+    python -m repro cache stats
     python -m repro trace figure3 --category packet
     python -m repro stats figure8
     python -m repro lint src benchmarks examples --baseline lint-baseline.json
@@ -152,6 +158,29 @@ def _simulate_sstp(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache(args: argparse.Namespace) -> int:
+    from repro.cache import ResultCache
+
+    cache = ResultCache(args.dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"store     : {stats.root}")
+        print(f"entries   : {stats.entries}")
+        print(f"size      : {stats.total_bytes / 1024.0:.1f} KiB")
+    elif args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {cache.root}")
+    elif args.action == "gc":
+        removed = cache.gc(max_age_days=args.max_age_days)
+        print(
+            f"evicted {removed} entries not used for "
+            f"{args.max_age_days:g} days from {cache.root}"
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.action)
+    return 0
+
+
 def _trace(args: argparse.Namespace) -> int:
     from repro.experiments.registry import run_experiment
 
@@ -273,21 +302,63 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0)
     simulate.set_defaults(func=_simulate)
 
+    def _add_run_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--quick", action="store_true")
+        p.add_argument("--plot", action="store_true")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help=(
+                "parallel worker processes per experiment "
+                "(0 = one per CPU)"
+            ),
+        )
+        p.add_argument(
+            "--cache",
+            action=argparse.BooleanOptionalAction,
+            default=None,
+            help=(
+                "serve unchanged cells from results/.cache "
+                "(docs/CACHE.md); --no-cache bypasses reads and writes"
+            ),
+        )
+
     experiment = sub.add_parser(
         "experiment", help="reproduce paper tables/figures"
     )
     experiment.add_argument("experiments", nargs="*", metavar="ID")
-    experiment.add_argument("--quick", action="store_true")
-    experiment.add_argument("--plot", action="store_true")
-    experiment.add_argument("--seed", type=int, default=0)
-    experiment.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="parallel worker processes per experiment (0 = one per CPU)",
-    )
+    _add_run_options(experiment)
     experiment.set_defaults(func=None)
+
+    run_all = sub.add_parser(
+        "run-all",
+        help="run every experiment (incremental with --cache)",
+    )
+    _add_run_options(run_all)
+    run_all.set_defaults(func=None)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect/maintain the content-addressed result store",
+    )
+    cache.add_argument("action", choices=["stats", "clear", "gc"])
+    cache.add_argument(
+        "--dir",
+        default=None,
+        metavar="PATH",
+        help="store root (default: REPRO_CACHE_DIR or results/.cache)",
+    )
+    cache.add_argument(
+        "--max-age-days",
+        type=float,
+        default=30.0,
+        metavar="D",
+        help="gc: evict entries not used for D days (default 30)",
+    )
+    cache.set_defaults(func=_cache)
 
     trace = sub.add_parser(
         "trace",
@@ -353,14 +424,20 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "experiment":
-        forwarded = list(args.experiments)
+    if args.command in ("experiment", "run-all"):
+        forwarded = (
+            ["run-all"]
+            if args.command == "run-all"
+            else list(args.experiments)
+        )
         if args.quick:
             forwarded.append("--quick")
         if args.plot:
             forwarded.append("--plot")
         forwarded.extend(["--seed", str(args.seed)])
         forwarded.extend(["--jobs", str(args.jobs)])
+        if args.cache is not None:
+            forwarded.append("--cache" if args.cache else "--no-cache")
         return experiments_main(forwarded)
     return args.func(args)
 

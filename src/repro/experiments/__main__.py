@@ -59,6 +59,16 @@ def main(argv: list[str] | None = None) -> int:
             "('' disables the file)"
         ),
     )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "serve unchanged cells from the content-addressed result "
+            "store (results/.cache; see docs/CACHE.md).  --no-cache "
+            "bypasses reads and writes; default follows REPRO_CACHE"
+        ),
+    )
     args = parser.parse_args(argv)
 
     requested = args.experiments or sorted(EXPERIMENTS)
@@ -66,7 +76,11 @@ def main(argv: list[str] | None = None) -> int:
         requested = sorted(EXPERIMENTS)
     for experiment_id in requested:
         result = run_experiment(
-            experiment_id, quick=args.quick, seed=args.seed, jobs=args.jobs
+            experiment_id,
+            quick=args.quick,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=args.cache,
         )
         print(result.render())
         if args.telemetry_dir and result.telemetry is not None:

@@ -51,6 +51,7 @@ def run_experiment(
     quick: bool = False,
     seed: int = 0,
     jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
 ) -> ExperimentResult:
     """Run one experiment by id (e.g. "figure8").
 
@@ -60,6 +61,12 @@ def run_experiment(
     environment variable applies (default 1), so callers that predate
     the runner — the benchmarks in particular — pick it up for free.
     Output is byte-identical at any job count.
+
+    ``cache`` controls the content-addressed result store
+    (docs/CACHE.md): ``True`` serves unchanged cells from
+    ``results/.cache/``, ``False`` bypasses reads *and* writes, and
+    ``None`` defers to the ``REPRO_CACHE`` environment variable
+    (default off).  Output is byte-identical either way.
     """
     try:
         runner = EXPERIMENTS[experiment_id]
@@ -70,17 +77,21 @@ def run_experiment(
         ) from None
     if jobs is None:
         jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    from repro.cache import caching, resolve_cache
     from repro.experiments.runner import resolve_jobs
 
+    cache_store = resolve_cache(cache)
     run = _telemetry.begin_run(experiment_id)
     run.jobs = resolve_jobs(jobs)
     run.seed = seed
     run.quick = quick
+    run.cache_enabled = cache_store is not None
     # Run telemetry measures host wall time on purpose; the simulation
     # itself only ever sees env.now.
     start = time.perf_counter()  # repro-lint: disable=RPR002
     try:
-        result = runner(quick=quick, seed=seed, jobs=jobs)
+        with caching(cache_store):
+            result = runner(quick=quick, seed=seed, jobs=jobs)
     finally:
         _telemetry.end_run()
     run.wall_s = time.perf_counter() - start  # repro-lint: disable=RPR002

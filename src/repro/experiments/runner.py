@@ -9,15 +9,26 @@ order, on any worker, with identical results.
 :func:`map_cells` is the single execution primitive.  With ``jobs <= 1``
 it is a plain in-process loop (exactly the historical sequential
 behaviour).  With ``jobs > 1`` the cells run on a ``multiprocessing``
-pool and the results are merged **in submission order**, so the rows an
-experiment assembles from them — and therefore its rendered output — are
-byte-identical to a sequential run.  Determinism is a merge property,
-not a scheduling property: workers may finish in any order, but
-``Pool.map`` returns results positionally.
+pool via ``imap_unordered(chunksize=1)`` — each worker pulls the next
+cell the moment it finishes, so one slow cell never stalls a chunk of
+queued fast ones on skewed grids — and every result carries its cell
+index, so the parent reassembles **positionally**.  The merged rows an
+experiment sees — and therefore its rendered output — are byte-identical
+to a sequential run: determinism is a merge property, not a scheduling
+property.
+
+When a result cache is active (``repro.cache``, installed by
+``run_experiment`` around the run), the cache is consulted *before*
+dispatch: hit cells are served from the store (result plus replayed
+telemetry meta), only misses go to the pool, and misses are written
+back afterwards — so merged output is byte-identical whether a cell
+was computed fresh or served from cache, at any ``--jobs`` value.
 
 Cell functions must be module-level (picklable) and take only picklable
 keyword arguments; they should return plain data (dicts, lists,
-numbers), not live sessions.
+numbers), not live sessions.  By the determinism contract their result
+is a pure function of their kwargs — which is exactly what makes the
+cache sound.
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ import time
 import tracemalloc
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.cache import runtime as _cache_runtime
 from repro.obs import runtime as _obs
 from repro.obs import telemetry as _telemetry
 from repro.obs.telemetry import CellMeta
@@ -105,10 +117,62 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return max(1, jobs)
 
 
-def _invoke(payload: tuple) -> Any:
-    """Pool entry point: apply ``fn`` to one cell's keyword arguments."""
+def _invoke(payload: tuple) -> Tuple[int, Tuple[Any, CellMeta]]:
+    """Pool entry point: run one cell, tagged with its index.
+
+    The tag is what makes unordered completion safe: the parent slots
+    each result back by index, so merge order never depends on worker
+    scheduling.
+    """
     fn, index, kwargs = payload
-    return _run_cell(fn, index, kwargs)
+    return index, _run_cell(fn, index, kwargs)
+
+
+def _load_cached(
+    cache, keys: List[str], cells: List[Cell]
+) -> Tuple[List[Optional[Tuple[Any, CellMeta]]], List[int]]:
+    """Fill result slots from the store; returns (slots, miss indices)."""
+    slots: List[Optional[Tuple[Any, CellMeta]]] = [None] * len(cells)
+    pending: List[int] = []
+    for index, key in enumerate(keys):
+        entry = cache.load(key)
+        if entry is None:
+            pending.append(index)
+            continue
+        meta = CellMeta(
+            index=index,
+            wall_s=0.0,
+            events=entry.events,
+            peak_heap_bytes=None,
+            rng_streams=list(entry.rng_streams),
+            registry=entry.registry,
+            cached=True,
+        )
+        slots[index] = (entry.result, meta)
+    return slots, pending
+
+
+def _note_cache_counts(hits: int, misses: int) -> None:
+    """Publish one lookup round to the registry and the active run.
+
+    Counters land in the *parent* ambient registry (cells push their
+    own), labelled by layer so the in-process memoizer could publish
+    alongside if it ever became jobs-invariant.
+    """
+    reg = _obs.registry()
+    reg.counter(
+        "repro_cache_hits_total",
+        "Result-cache lookups served from the store.",
+        ("layer",),
+    ).inc(hits, layer="store")
+    reg.counter(
+        "repro_cache_misses_total",
+        "Result-cache lookups that fell through to compute.",
+        ("layer",),
+    ).inc(misses, layer="store")
+    run = _telemetry.active_run()
+    if run is not None:
+        run.note_cache(hits, misses)
 
 
 def map_cells(
@@ -118,30 +182,55 @@ def map_cells(
 ) -> List[Any]:
     """Run ``fn(**cell)`` for every cell, returning results in cell order.
 
-    ``jobs <= 1`` (or a single cell) executes sequentially in-process.
-    ``jobs > 1`` fans the cells out over a process pool; results are
-    merged positionally so the output is byte-identical to sequential.
+    ``jobs <= 1`` (or a single pending cell) executes sequentially
+    in-process.  ``jobs > 1`` fans the cells out over a process pool
+    with per-cell dispatch; results are merged positionally so the
+    output is byte-identical to sequential.  An active result cache
+    (``repro.cache``) short-circuits hit cells entirely.
     """
     jobs = resolve_jobs(jobs)
     cells = list(cells)
-    if jobs <= 1 or len(cells) <= 1:
-        pairs = [
-            _run_cell(fn, index, cell) for index, cell in enumerate(cells)
-        ]
+    cache = _cache_runtime.active_cache()
+    keys: Optional[List[str]] = None
+    if cache is not None and cells:
+        keys = [cache.key_for(fn, cell) for cell in cells]
+        slots, pending = _load_cached(cache, keys, cells)
     else:
-        workers = min(jobs, len(cells))
+        slots = [None] * len(cells)
+        pending = list(range(len(cells)))
+
+    if jobs <= 1 or len(pending) <= 1:
+        for index in pending:
+            slots[index] = _run_cell(fn, index, cells[index])
+    else:
+        workers = min(jobs, len(pending))
         context = _pool_context()
         with context.Pool(processes=workers) as pool:
-            pairs = pool.map(
-                _invoke,
-                [(fn, index, cell) for index, cell in enumerate(cells)],
-                chunksize=1,
+            payloads = [(fn, index, cells[index]) for index in pending]
+            for index, pair in pool.imap_unordered(
+                _invoke, payloads, chunksize=1
+            ):
+                slots[index] = pair
+
+    if keys is not None:
+        for index in pending:
+            result, meta = slots[index]
+            cache.store(
+                keys[index],
+                fn,
+                cells[index],
+                result,
+                events=meta.events,
+                rng_streams=meta.rng_streams,
+                registry=meta.registry,
             )
+        _note_cache_counts(len(cells) - len(pending), len(pending))
+
     # Telemetry is recorded here, in the parent, in submission order —
     # never in the workers — so the aggregate is jobs-independent.
     run = _telemetry.active_run()
     results = []
-    for result, meta in pairs:
+    for result, meta in slots:
         if run is not None:
             run.record_cell(meta)
         results.append(result)

@@ -64,6 +64,10 @@ class CellMeta:
     peak_heap_bytes: Optional[int] = None
     rng_streams: List[str] = field(default_factory=list)
     registry: Dict[str, Any] = field(default_factory=dict)
+    #: True when the result-cache store served this cell (the events /
+    #: rng_streams / registry fields are then replayed from the entry
+    #: recorded at compute time; wall_s is the lookup cost, ~0).
+    cached: bool = False
 
     @property
     def events_per_sec(self) -> float:
@@ -77,6 +81,7 @@ class CellMeta:
             "events_per_sec": self.events_per_sec,
             "peak_heap_bytes": self.peak_heap_bytes,
             "rng_streams": self.rng_streams,
+            "cached": self.cached,
         }
 
 
@@ -90,9 +95,20 @@ class RunTelemetry:
         self.jobs = 1
         self.seed = 0
         self.quick = False
+        #: Result-cache accounting (repro.cache): whether a store was
+        #: active for this run, and its per-run hit/miss totals.
+        self.cache_enabled = False
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def record_cell(self, meta: CellMeta) -> None:
         self.cells.append(meta)
+
+    def note_cache(self, hits: int, misses: int) -> None:
+        """Accumulate one ``map_cells`` round of store lookups."""
+        self.cache_enabled = True
+        self.cache_hits += hits
+        self.cache_misses += misses
 
     def merged_registry(self) -> Registry:
         """Per-cell registry snapshots folded together, in cell order.
@@ -126,6 +142,11 @@ class RunTelemetry:
                 "events_per_sec": (
                     events / self.wall_s if self.wall_s > 0 else 0.0
                 ),
+                "cache": {
+                    "enabled": self.cache_enabled,
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                },
             },
             "cells": [meta.as_dict() for meta in self.cells],
             "registry": self.merged_registry().snapshot(),

@@ -1,0 +1,143 @@
+"""Static import-closure discovery and code-fingerprint invalidation."""
+
+import importlib
+import sys
+import textwrap
+
+import pytest
+
+from repro.cache.fingerprint import (
+    clear_fingerprint_cache,
+    code_fingerprint,
+    module_closure,
+)
+
+PKG = "fpkg_cache_test"
+
+
+@pytest.fixture
+def temp_package(tmp_path, monkeypatch):
+    """A throwaway package on sys.path whose sources tests can rewrite.
+
+    ``alpha`` imports ``beta`` at module level and ``gamma`` inside a
+    function body (the repo's lazy-import idiom); ``orphan`` is never
+    imported by anything.
+    """
+    root = tmp_path / PKG
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    (root / "alpha.py").write_text(
+        textwrap.dedent(
+            f"""
+            import json
+
+            from {PKG} import beta
+
+
+            def cell(x):
+                from {PKG}.gamma import helper
+
+                return beta.double(x) + helper(x)
+            """
+        )
+    )
+    (root / "beta.py").write_text("def double(x):\n    return 2 * x\n")
+    (root / "gamma.py").write_text("def helper(x):\n    return x\n")
+    (root / "orphan.py").write_text("UNUSED = 1\n")
+    monkeypatch.syspath_prepend(str(tmp_path))
+    importlib.invalidate_caches()
+    clear_fingerprint_cache()
+    yield root
+    # find_spec on dotted names imports the parent package; evict it so
+    # the next test's tmp_path copy is rediscovered fresh.
+    for name in [m for m in sys.modules if m.split(".")[0] == PKG]:
+        del sys.modules[name]
+    importlib.invalidate_caches()
+    clear_fingerprint_cache()
+
+
+def _fingerprint():
+    return code_fingerprint(f"{PKG}.alpha", prefixes=(PKG,))
+
+
+def test_closure_follows_static_imports(temp_package):
+    closure = module_closure(f"{PKG}.alpha", prefixes=(PKG,))
+    assert set(closure) == {
+        PKG,  # ``from fpkg import beta`` pulls in the package itself
+        f"{PKG}.alpha",
+        f"{PKG}.beta",
+        f"{PKG}.gamma",  # reached only through a function-body import
+    }
+    assert closure[f"{PKG}.beta"] == str(temp_package / "beta.py")
+
+
+def test_closure_stays_in_scope(temp_package):
+    closure = module_closure(f"{PKG}.alpha", prefixes=(PKG,))
+    # ``import json`` in alpha must not drag the stdlib into the hash.
+    assert all(name.split(".")[0] == PKG for name in closure)
+
+
+def test_fingerprint_changes_when_imported_source_changes(temp_package):
+    before = _fingerprint()
+    (temp_package / "beta.py").write_text(
+        "def double(x):\n    return x + x\n"
+    )
+    clear_fingerprint_cache()
+    assert _fingerprint() != before
+
+
+def test_fingerprint_tracks_function_body_imports(temp_package):
+    before = _fingerprint()
+    (temp_package / "gamma.py").write_text("def helper(x):\n    return -x\n")
+    clear_fingerprint_cache()
+    assert _fingerprint() != before
+
+
+def test_fingerprint_ignores_unimported_modules(temp_package):
+    before = _fingerprint()
+    (temp_package / "orphan.py").write_text("UNUSED = 2\n")
+    clear_fingerprint_cache()
+    assert _fingerprint() == before
+
+
+def test_fingerprint_is_memoized_until_cleared(temp_package):
+    before = _fingerprint()
+    (temp_package / "beta.py").write_text("def double(x):\n    return 3 * x\n")
+    # Stale by design within a process; a code edit means a new run.
+    assert _fingerprint() == before
+    clear_fingerprint_cache()
+    assert _fingerprint() != before
+
+
+def test_relative_imports_resolve(tmp_path, monkeypatch):
+    name = "fpkg_rel_test"
+    root = tmp_path / name
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    (root / "outer.py").write_text("from . import inner\n")
+    (root / "inner.py").write_text("VALUE = 1\n")
+    monkeypatch.syspath_prepend(str(tmp_path))
+    importlib.invalidate_caches()
+    try:
+        closure = module_closure(f"{name}.outer", prefixes=(name,))
+        assert f"{name}.inner" in closure
+    finally:
+        for mod in [m for m in sys.modules if m.split(".")[0] == name]:
+            del sys.modules[mod]
+        importlib.invalidate_caches()
+        clear_fingerprint_cache()
+
+
+def test_repro_experiment_closure_is_deep():
+    closure = module_closure("repro.experiments.figure3")
+    assert "repro.experiments.common" in closure
+    assert "repro.experiments.runner" in closure
+    assert "repro.analysis.openloop" in closure
+    assert all(path.endswith(".py") for path in closure.values())
+
+
+def test_fingerprint_shape_and_stability():
+    first = code_fingerprint("repro.experiments.figure3")
+    assert len(first) == 64 and set(first) <= set("0123456789abcdef")
+    assert code_fingerprint("repro.experiments.figure3") == first
+    assert first != code_fingerprint("repro.experiments.figure8")

@@ -1,0 +1,162 @@
+"""The in-process memoizer and its use on the analytic solvers."""
+
+import pytest
+
+from repro.analysis.jackson import JacksonNetwork, QueueSpec
+from repro.analysis.mm1 import mm1_metrics
+from repro.analysis.openloop import (
+    OpenLoopModel,
+    consistent_fraction,
+    expected_consistency,
+)
+from repro.analysis.twoqueue import TwoQueueApproximation
+from repro.cache.memo import clear_memos, memo_stats, memoize
+
+
+def _deltas(before):
+    after = memo_stats()
+    return after["hits"] - before["hits"], after["misses"] - before["misses"]
+
+
+# -- mechanics -----------------------------------------------------------------
+
+
+def test_hits_return_the_same_object():
+    calls = []
+
+    @memoize()
+    def solve(x):
+        calls.append(x)
+        return (x, x + 1)
+
+    before = memo_stats()
+    first = solve(3)
+    second = solve(3)
+    assert first is second
+    assert calls == [3]
+    hits, misses = _deltas(before)
+    assert (hits, misses) == (1, 1)
+
+
+def test_kwarg_order_does_not_matter():
+    @memoize()
+    def solve(a, b):
+        return a + b
+
+    before = memo_stats()
+    assert solve(a=1, b=2) == solve(b=2, a=1)
+    hits, misses = _deltas(before)
+    assert (hits, misses) == (1, 1)
+
+
+def test_eviction_is_oldest_inserted_first():
+    calls = []
+
+    @memoize(maxsize=2)
+    def solve(x):
+        calls.append(x)
+        return x
+
+    solve(1), solve(2), solve(3)  # 1 is evicted when 3 arrives
+    solve(3)  # hit
+    solve(1)  # recomputed
+    assert calls == [1, 2, 3, 1]
+
+
+def test_maxsize_must_be_positive():
+    with pytest.raises(ValueError):
+        memoize(maxsize=0)
+
+
+def test_clear_memos_resets_tables_and_counters():
+    calls = []
+
+    @memoize()
+    def solve(x):
+        calls.append(x)
+        return x
+
+    solve(5), solve(5)
+    clear_memos()
+    stats = memo_stats()
+    assert stats["hits"] == 0 and stats["misses"] == 0
+    solve(5)
+    assert calls == [5, 5]
+
+
+def test_memo_stats_lists_tables():
+    tables = memo_stats()["tables"]
+    assert "repro.analysis.mm1.mm1_metrics" in tables
+    assert "repro.analysis.openloop.consistent_fraction" in tables
+
+
+# -- solver wiring -------------------------------------------------------------
+
+
+def test_memoized_solvers_match_their_unmemoized_forms():
+    assert expected_consistency(0.1, 0.05, 10.0, 45.0) == pytest.approx(
+        expected_consistency.__wrapped__(0.1, 0.05, 10.0, 45.0)
+    )
+    assert consistent_fraction(0.3, 0.02) == pytest.approx(
+        consistent_fraction.__wrapped__(0.3, 0.02)
+    )
+    assert mm1_metrics(1.0, 2.0) == mm1_metrics.__wrapped__(1.0, 2.0)
+
+
+def test_mm1_hit_shares_the_frozen_result():
+    first = mm1_metrics(3.0, 7.0)
+    assert mm1_metrics(3.0, 7.0) is first
+
+
+def test_openloop_solve_shared_across_instances():
+    a = OpenLoopModel(
+        update_rate=10.0, channel_rate=45.0, p_loss=0.1, p_death=0.05
+    )
+    b = OpenLoopModel(
+        update_rate=10.0, channel_rate=45.0, p_loss=0.1, p_death=0.05
+    )
+    assert a.solve() is b.solve()
+
+
+def test_twoqueue_methods_shared_across_equal_instances():
+    params = dict(
+        update_rate=5.0,
+        data_rate=40.0,
+        hot_share=0.4,
+        loss_rate=0.1,
+        lifetime_mean=20.0,
+    )
+    first = TwoQueueApproximation(**params)
+    value = first.consistency()
+    before = memo_stats()
+    assert TwoQueueApproximation(**params).consistency() == value
+    hits, misses = _deltas(before)
+    assert (hits, misses) == (1, 0)
+    assert first.receive_latency() == TwoQueueApproximation(
+        **params
+    ).receive_latency()
+
+
+def test_jackson_traffic_solve_is_shared_and_correct():
+    def build():
+        network = JacksonNetwork([QueueSpec("q", 10.0)], ["c"])
+        network.add_arrival("q", "c", 4.0)
+        network.set_routing("q", "c", "q", "c", 0.5)
+        return network
+
+    first = build().solve()
+    second = build().solve()
+    # lam = gamma / (1 - r) = 4 / 0.5
+    assert first.throughputs[("q", "c")] == pytest.approx(8.0)
+    assert first.throughputs == second.throughputs
+    assert first.utilization == second.utilization
+
+
+def test_openloop_jackson_cross_check_still_holds():
+    model = OpenLoopModel(
+        update_rate=8.0, channel_rate=45.0, p_loss=0.2, p_death=0.1
+    )
+    solution = model.solve()
+    jackson = model.solve_jackson()
+    total = sum(jackson.throughputs.values())
+    assert total == pytest.approx(solution.lambda_total)

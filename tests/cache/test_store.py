@@ -1,0 +1,196 @@
+"""The content-addressed store: round trips, corruption, maintenance.
+
+Every failure mode must degrade to a miss (``None``) — the runner
+consults the store unconditionally, so a raised exception here would
+break ``repro run-all`` rather than just slow it down.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.cache.keys import CACHE_SCHEMA_VERSION, canonicalize, cell_key
+from repro.cache.store import ResultCache, default_cache_dir
+
+
+def _cell(x=1, seed=0):
+    return {"x": x, "seed": seed}
+
+
+def _other_cell(x=1):
+    return x
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "store"))
+
+
+def _stored(cache, kwargs=None, result=None):
+    kwargs = kwargs if kwargs is not None else {"x": 1, "seed": 0}
+    key = cache.key_for(_cell, kwargs)
+    assert cache.store(
+        key,
+        _cell,
+        kwargs,
+        result if result is not None else _cell(**kwargs),
+        events=7,
+        rng_streams=["root/a", "root/b"],
+        registry={"repro_events_total": {"kind": "counter"}},
+    )
+    return key
+
+
+# -- round trip ----------------------------------------------------------------
+
+
+def test_roundtrip_preserves_result_and_meta(cache):
+    key = _stored(cache)
+    entry = cache.load(key)
+    assert entry is not None
+    assert entry.result == {"x": 1, "seed": 0}
+    assert entry.events == 7
+    assert entry.rng_streams == ["root/a", "root/b"]
+    assert entry.registry == {"repro_events_total": {"kind": "counter"}}
+
+
+def test_roundtrip_preserves_tuples(cache):
+    # figure7's cell returns a (rows, audited) tuple; a JSON store would
+    # silently hand back lists.  Pickle must keep the exact types.
+    result = ([{"r": 1}], ("audited", (1, 2)))
+    key = _stored(cache, result=result)
+    entry = cache.load(key)
+    assert entry.result == result
+    assert isinstance(entry.result, tuple)
+    assert isinstance(entry.result[1], tuple)
+
+
+# -- miss / corruption ---------------------------------------------------------
+
+
+def test_missing_entry_is_a_miss(cache):
+    assert cache.load("ab" + "0" * 62) is None
+
+
+def test_garbage_file_is_a_miss(cache):
+    key = _stored(cache)
+    with open(cache.path_for(key), "wb") as handle:
+        handle.write(b"this is not a pickle")
+    assert cache.load(key) is None
+
+
+def test_truncated_entry_is_a_miss(cache):
+    key = _stored(cache)
+    path = cache.path_for(key)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(data[: len(data) // 2])
+    assert cache.load(key) is None
+
+
+def test_schema_drift_is_a_miss(cache):
+    key = _stored(cache)
+    path = cache.path_for(key)
+    with open(path, "rb") as handle:
+        payload = pickle.load(handle)
+    payload["schema"] = CACHE_SCHEMA_VERSION + 1
+    with open(path, "wb") as handle:
+        pickle.dump(payload, handle)
+    assert cache.load(key) is None
+
+
+def test_key_mismatch_is_a_miss(cache):
+    # An entry copied (or renamed) to another address must not be served:
+    # the payload's own key is part of the integrity check.
+    key = _stored(cache)
+    other = "cd" + "1" * 62
+    other_path = cache.path_for(other)
+    os.makedirs(os.path.dirname(other_path), exist_ok=True)
+    with open(cache.path_for(key), "rb") as src:
+        with open(other_path, "wb") as dst:
+            dst.write(src.read())
+    assert cache.load(other) is None
+    assert cache.load(key) is not None
+
+
+def test_store_failure_returns_false(tmp_path):
+    blocked = tmp_path / "blocked"
+    blocked.write_text("a plain file where the store root should be")
+    cache = ResultCache(str(blocked))
+    key = cache.key_for(_cell, {"x": 1})
+    assert cache.store(key, _cell, {"x": 1}, 42) is False
+    assert cache.load(key) is None
+
+
+# -- keys ----------------------------------------------------------------------
+
+
+def test_keys_separate_kwargs_functions_and_code(cache):
+    base = cache.key_for(_cell, {"x": 1, "seed": 0})
+    assert cache.key_for(_cell, {"seed": 0, "x": 1}) == base  # order-free
+    assert cache.key_for(_cell, {"x": 2, "seed": 0}) != base
+    assert cache.key_for(_other_cell, {"x": 1}) != base
+    assert cell_key(_cell, {"x": 1}, "f" * 64) != cell_key(
+        _cell, {"x": 1}, "e" * 64
+    )
+
+
+def test_canonicalize_distinguishes_tuples_from_lists():
+    assert canonicalize((1, 2)) != canonicalize([1, 2])
+    assert canonicalize({"b": 1, "a": 2}) == canonicalize({"a": 2, "b": 1})
+    assert canonicalize({1: "x"}) == canonicalize({1: "x"})
+
+
+# -- maintenance ---------------------------------------------------------------
+
+
+def test_stats_and_clear(cache):
+    assert cache.stats().entries == 0
+    _stored(cache, {"x": 1, "seed": 0})
+    _stored(cache, {"x": 2, "seed": 0})
+    stats = cache.stats()
+    assert stats.entries == 2
+    assert stats.total_bytes > 0
+    assert stats.root == cache.root
+    assert cache.clear() == 2
+    assert cache.stats().entries == 0
+
+
+def test_gc_evicts_only_stale_entries(cache):
+    old_key = _stored(cache, {"x": 1, "seed": 0})
+    fresh_key = _stored(cache, {"x": 2, "seed": 0})
+    old_path = cache.path_for(old_key)
+    stale = os.stat(old_path).st_mtime - 40.0 * 86400.0
+    os.utime(old_path, (stale, stale))
+    assert cache.gc(max_age_days=30.0) == 1
+    assert cache.load(old_key) is None
+    assert cache.load(fresh_key) is not None
+
+
+def test_gc_rejects_negative_age(cache):
+    with pytest.raises(ValueError):
+        cache.gc(max_age_days=-1.0)
+
+
+def test_hits_refresh_recency(cache):
+    # A loaded entry's mtime moves forward, so gc is least-recently-used
+    # eviction rather than write-age eviction.
+    key = _stored(cache)
+    path = cache.path_for(key)
+    stale = os.stat(path).st_mtime - 40.0 * 86400.0
+    os.utime(path, (stale, stale))
+    assert cache.load(key) is not None
+    assert cache.gc(max_age_days=30.0) == 0
+
+
+# -- configuration -------------------------------------------------------------
+
+
+def test_default_cache_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert default_cache_dir() == os.path.join("results", ".cache")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    assert default_cache_dir() == str(tmp_path / "elsewhere")
+    assert ResultCache().root == str(tmp_path / "elsewhere")

@@ -1,0 +1,151 @@
+"""Behavioural equivalence of the lazy-tombstone announcement ring.
+
+``OpenLoopSession`` drops dying records from its FIFO ring lazily
+(tombstone counters consumed by ``_dequeue_next``) instead of eagerly
+(``deque.remove``, O(ring length) per death).  These tests pin the
+correctness argument: the lazy ring must *exactly* reproduce the eager
+ring — same service order at the unit level, bit-identical simulation
+results at the session level.
+"""
+
+import math
+
+import pytest
+
+from repro.protocols.announce_listen import OpenLoopSession
+
+
+class EagerDropSession(OpenLoopSession):
+    """The pre-tombstone implementation, kept verbatim as the oracle."""
+
+    def _drop_from_queues(self, key):
+        if key in self._queued:
+            self._queued.discard(key)
+            try:
+                self._ring.remove(key)
+            except ValueError:
+                pass
+
+
+def _fresh(cls=OpenLoopSession):
+    return cls(data_kbps=45.0, update_rate=1.0, lifetime_mean=20.0, seed=0)
+
+
+def _seed_keys(session, keys):
+    for key in keys:
+        session.publisher.put(key, 0, now=0.0, lifetime=math.inf)
+        session._enqueue_new(key)
+
+
+def _drain(session):
+    order = []
+    while True:
+        key = session._dequeue_next()
+        if key is None:
+            return order
+        order.append(key)
+
+
+# -- unit-level ring semantics -------------------------------------------------
+
+
+def test_drop_excises_the_dropped_key():
+    session = _fresh()
+    _seed_keys(session, ["a", "b", "c"])
+    session._drop_from_queues("b")
+    assert _drain(session) == ["a", "c"]
+    assert not session._tombstones
+    assert not session._queued
+
+
+def test_drop_then_reenqueue_orders_like_eager_removal():
+    # The delicate case: a stale occurrence and a live re-enqueue of the
+    # same key coexist in the ring.  The tombstone must cancel the
+    # *earliest* occurrence (the slot eager removal would have excised),
+    # leaving the re-enqueued tail copy to be served.
+    session = _fresh()
+    _seed_keys(session, ["a", "b", "c"])
+    session._drop_from_queues("b")
+    session._enqueue_new("b")
+    assert _drain(session) == ["a", "c", "b"]
+    assert not session._tombstones
+
+
+def test_double_drop_is_a_noop():
+    session = _fresh()
+    _seed_keys(session, ["a"])
+    session._drop_from_queues("a")
+    session._drop_from_queues("a")  # no longer queued: must not count
+    session._enqueue_new("a")
+    assert _drain(session) == ["a"]
+
+
+def test_drop_of_unqueued_key_is_a_noop():
+    session = _fresh()
+    _seed_keys(session, ["a"])
+    session._drop_from_queues("zzz")
+    assert not session._tombstones
+    assert _drain(session) == ["a"]
+
+
+def test_clear_queues_discards_tombstones():
+    session = _fresh()
+    _seed_keys(session, ["a", "b"])
+    session._drop_from_queues("a")
+    session._clear_queues()
+    assert not session._ring
+    assert not session._queued
+    assert not session._tombstones
+
+
+def test_interleaved_drops_match_eager_oracle():
+    # Replay one interleaving of enqueues/drops/dequeues against both
+    # implementations and require the identical service order.
+    script = [
+        ("enq", "a"), ("enq", "b"), ("enq", "c"), ("enq", "d"),
+        ("drop", "b"), ("deq", None), ("enq", "b"), ("drop", "d"),
+        ("deq", None), ("drop", "a"), ("enq", "d"), ("deq", None),
+        ("deq", None), ("deq", None),
+    ]
+
+    def replay(cls):
+        session = _fresh(cls)
+        _seed_keys(session, [])
+        served = []
+        for action, key in script:
+            if action == "enq":
+                if session.publisher.get(key) is None:
+                    session.publisher.put(key, 0, now=0.0)
+                session._enqueue_new(key)
+            elif action == "drop":
+                session._drop_from_queues(key)
+            else:
+                served.append(session._dequeue_next())
+        return served
+
+    assert replay(OpenLoopSession) == replay(EagerDropSession)
+
+
+# -- session-level equivalence -------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 7, 42])
+def test_full_session_matches_eager_oracle(seed):
+    # Short lifetimes force a steady stream of record deaths (each one a
+    # _drop_from_queues call) while the ring is busy; the lazy and eager
+    # sessions must produce bit-identical results.
+    params = dict(
+        data_kbps=45.0,
+        loss_rate=0.1,
+        update_rate=8.0,
+        lifetime_mean=4.0,
+        seed=seed,
+        record_series=True,
+    )
+    run = dict(horizon=120.0, warmup=20.0)
+    lazy = OpenLoopSession(**params).run(**run)
+    eager = EagerDropSession(**params).run(**run)
+    assert lazy == eager
+    assert lazy.consistency_series == eager.consistency_series
+    assert lazy.data_packets == eager.data_packets
+    assert lazy.consistency == eager.consistency
