@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-json bench-cache overhead-check experiments experiments-quick examples clean
+.PHONY: install test lint bench bench-json bench-cache bench-kernel overhead-check experiments experiments-quick examples clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -35,6 +35,15 @@ bench-json:
 bench-cache:
 	$(PYTHON) benchmarks/bench_cache.py --assert-warm --assert-speedup 5 \
 		--assert-overhead-pct 2 --out BENCH_runall.json
+
+# Batched fan-out gate (docs/KERNEL.md "Batched fan-out"): scalar vs
+# batched multicast fan-out on matched 1k/10k-receiver announce bursts
+# plus a cold quick run-all in each mode.  Asserts a >= 3x batched
+# speedup on the fan-out microbench and byte-identical delivered counts
+# and rendered output across modes; emits BENCH_kernel.json.
+bench-kernel:
+	$(PYTHON) benchmarks/bench_kernel.py --assert-fanout-speedup 3 \
+		--assert-identical --out BENCH_kernel.json
 
 # CI gate: tracing hooks must cost < 3% on the kernel when disabled.
 overhead-check:

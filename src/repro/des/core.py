@@ -521,6 +521,86 @@ class Environment:
             )
         return event
 
+    def timeout_at(self, when: float, value: Any = None) -> Timeout:
+        """Create an event that triggers at absolute time ``when``.
+
+        Unlike ``timeout(when - now)``, the heap key is exactly ``when``
+        — no float round-trip through a delay subtraction — so a caller
+        that stored a due time ``now + delay`` earlier can hit the same
+        instant, to the ulp, that ``timeout(delay)`` would have hit then.
+        The channels' persistent delivery loops rely on this to keep
+        delayed deliveries byte-identical to the per-packet process spawn
+        they replaced.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"timeout_at({when}) is in the past (now={self._now})"
+            )
+        event = Event.__new__(Timeout)
+        event.env = self
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event._defused = False
+        event._delay = when - self._now
+        self._eid = eid = self._eid + 1
+        _heappush(self._queue, (when, NORMAL, eid, event))
+        if self._trace_kernel:
+            self._trace.emit(
+                _KERNEL, "timer_set", self._now, delay=event._delay, eid=eid
+            )
+        return event
+
+    def timeout_many(
+        self,
+        delays: Iterable[float],
+        values: Optional[list[Any]] = None,
+    ) -> list[Timeout]:
+        """Create one :class:`Timeout` per delay in a single pass.
+
+        Equivalent to ``[self.timeout(d, v) for d, v in zip(delays,
+        values)]`` — same eid range, same heap entries, same trace emits —
+        but with the queue, push, clock, and eid counter bound to locals
+        once for the whole batch.  Bulk scheduling sites (slot-timer
+        arming, late-join batches, refresh/expiry fans) use this to cut
+        per-timer factory overhead.
+        """
+        delays = list(delays)
+        for delay in delays:
+            if delay < 0:
+                raise SimulationError(f"negative delay {delay}")
+        if values is not None and len(values) != len(delays):
+            raise SimulationError(
+                f"got {len(delays)} delays but {len(values)} values"
+            )
+        queue = self._queue
+        push = _heappush
+        now = self._now
+        eid = self._eid
+        new = Event.__new__
+        events: list[Timeout] = []
+        append = events.append
+        for index, delay in enumerate(delays):
+            event = new(Timeout)
+            event.env = self
+            event.callbacks = []
+            event._value = None if values is None else values[index]
+            event._ok = True
+            event._defused = False
+            event._delay = delay
+            eid += 1
+            push(queue, (now + delay, NORMAL, eid, event))
+            append(event)
+        self._eid = eid
+        if self._trace_kernel:
+            tr = self._trace
+            base = eid - len(delays)
+            for index, delay in enumerate(delays):
+                tr.emit(
+                    _KERNEL, "timer_set", now, delay=delay, eid=base + index + 1
+                )
+        return events
+
     def process(self, generator: Generator) -> Process:
         """Start a new process from ``generator``."""
         return Process(self, generator)
@@ -555,6 +635,10 @@ class Environment:
         if not event._ok and not event._defused:
             # A failure nobody waited on: surface it instead of losing it.
             raise event._value
+        # run() credits telemetry once per run; step-driven consumers
+        # (tests, examples, REPL exploration) would otherwise report 0
+        # kernel events, so credit after every manual step too.
+        self._note_events()
 
     def _emit_fired(self, tr, when: float, event: Event) -> None:
         """Trace one popped event (timer_fired for timeouts)."""

@@ -34,9 +34,12 @@ def pps_to_kbps(pps: float, packet_bits: int = PACKET_BITS) -> float:
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One transmission unit (an ADU announcement, a NACK, a digest, ...).
+
+    Slotted: multicast fan-out builds one clone per surviving receiver,
+    so instances carry no ``__dict__`` and accept no ad-hoc attributes.
 
     Attributes
     ----------
@@ -77,3 +80,21 @@ class Packet:
             created_at=self.created_at,
             size_bits=self.size_bits,
         )
+
+    def _copy_fast(self) -> "Packet":
+        """Per-receiver copy without dataclass-constructor overhead.
+
+        Behaviourally identical to :meth:`copy_for` — same field values,
+        one uid consumed from the same counter — minus the ``__init__``/
+        ``__post_init__`` churn.  The batched multicast fan-out calls
+        this once per surviving receiver, so it is a hot path.
+        """
+        clone = object.__new__(Packet)
+        clone.kind = self.kind
+        clone.key = self.key
+        clone.payload = self.payload
+        clone.seq = self.seq
+        clone.created_at = self.created_at
+        clone.size_bits = self.size_bits
+        clone.uid = next(_packet_ids)
+        return clone

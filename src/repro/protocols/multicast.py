@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core import (
@@ -109,12 +110,16 @@ class _GroupReceiver:
         now = self.env.now
         if packet.seq is not None:
             if packet.seq >= self._next_seq:
-                fresh = set(range(self._next_seq, packet.seq))
+                fresh = range(self._next_seq, packet.seq)
                 self._next_seq = packet.seq + 1
-                for seq in sorted(fresh):
-                    if self.session.receiver_needs(self, seq):
-                        self.missing.add(seq)
-                        self._arm_timer(seq)
+                needed = [
+                    seq
+                    for seq in fresh
+                    if self.session.receiver_needs(self, seq)
+                ]
+                if needed:
+                    self.missing.update(needed)
+                    self._arm_slots(needed)
             for repaired in payload.get("repairs", ()):
                 self.missing.discard(repaired)
                 self._heard.pop(repaired, None)
@@ -147,13 +152,38 @@ class _GroupReceiver:
         if seq in self._pending:
             return
         self._pending.add(seq)
-        self.env.process(self._request_timer(seq))
-
-    def _request_timer(self, seq: int):
         delay = self._rng.uniform(
             self.session.slot_min, self.session.slot_max
         )
-        yield self.env.timeout(delay)
+        self.env.timeout(delay).callbacks.append(
+            partial(self._slot_fired, seq)
+        )
+
+    def _arm_slots(self, seqs: List[int]) -> None:
+        """Arm slotting timers for a whole gap in one bulk schedule.
+
+        A multi-packet loss burst surfaces as one gap with many
+        sequences; drawing all slot delays up front (one draw per seq,
+        in seq order — the ``slots`` stream has no other consumer, so
+        the draw sequence matches the per-timer path) and pushing them
+        through :meth:`Environment.timeout_many` costs one heap entry
+        per timer instead of a three-event process spawn each.
+        """
+        pending = self._pending
+        to_arm = [seq for seq in seqs if seq not in pending]
+        if not to_arm:
+            return
+        pending.update(to_arm)
+        uniform = self._rng.uniform
+        slot_min = self.session.slot_min
+        slot_max = self.session.slot_max
+        delays = [uniform(slot_min, slot_max) for _ in to_arm]
+        events = self.env.timeout_many(delays)
+        fired = self._slot_fired
+        for seq, event in zip(to_arm, events):
+            event.callbacks.append(partial(fired, seq))
+
+    def _slot_fired(self, seq: int, _event) -> None:
         self._pending.discard(seq)
         if seq not in self.missing:
             return  # repaired while we waited
@@ -167,12 +197,12 @@ class _GroupReceiver:
             # Someone else already asked: damp our request and back off.
             self.nacks_suppressed += 1
             self.session.nacks_suppressed += 1
-            self.env.process(self._backoff_timer(seq))
+            self._schedule_backoff(seq)
             return
         self._send_nack(seq)
-        self.env.process(self._backoff_timer(seq))
+        self._schedule_backoff(seq)
 
-    def _backoff_timer(self, seq: int):
+    def _schedule_backoff(self, seq: int) -> None:
         """Re-arm the request if the repair never shows up.
 
         Exponentially backed off per attempt (capped), so a congested
@@ -181,7 +211,11 @@ class _GroupReceiver:
         attempt = self._attempts.get(seq, 0) + 1
         self._attempts[seq] = attempt
         delay = self.session.retry_interval * min(2 ** (attempt - 1), 32)
-        yield self.env.timeout(delay)
+        self.env.timeout(delay).callbacks.append(
+            partial(self._backoff_fired, seq)
+        )
+
+    def _backoff_fired(self, seq: int, _event) -> None:
         if seq in self.missing and self.session.receiver_needs(self, seq):
             self._arm_timer(seq)
         else:
@@ -306,6 +340,7 @@ class MulticastFeedbackSession:
         self.receivers: List[_GroupReceiver] = []
         self._receiver_by_id: Dict[str, _GroupReceiver] = {}
         self._receiver_loss: Dict[str, BernoulliLoss] = {}
+        late_joiners: List[Tuple[_GroupReceiver, float, BernoulliLoss]] = []
         for index in range(n_receivers):
             receiver_id = f"rcv-{index}"
             family = self.rng.spawn(receiver_id)
@@ -323,9 +358,7 @@ class MulticastFeedbackSession:
                 # A late joiner: it catches up purely from the cold
                 # announcement cycle once it tunes in — the benefit the
                 # paper credits periodic retransmissions with.
-                self.env.process(
-                    self._late_join(receiver, join_at, data_loss)
-                )
+                late_joiners.append((receiver, join_at, data_loss))
             # Receivers hear each other's NACKs (damping); they may be
             # lost independently like any multicast packet.
             self.feedback_channel.join(
@@ -333,6 +366,16 @@ class MulticastFeedbackSession:
                 receiver.hear_nack,
                 loss=BernoulliLoss(loss_rate, rng=family["nack-loss"]),
             )
+        if late_joiners:
+            # One bulk schedule for the whole join wave: each timer's
+            # callback performs the join at its receiver's tune-in time.
+            events = self.env.timeout_many(
+                [join_at for _receiver, join_at, _loss in late_joiners]
+            )
+            for (receiver, _join_at, loss), event in zip(late_joiners, events):
+                event.callbacks.append(
+                    partial(self._late_join_fired, receiver, loss)
+                )
         self.feedback_channel.join(
             "sender",
             self._handle_nack,
@@ -352,8 +395,7 @@ class MulticastFeedbackSession:
         self.sender_process = None
         self._partition_state: List[Tuple[str, "_GroupReceiver"]] = []
 
-    def _late_join(self, receiver: "_GroupReceiver", join_at: float, loss) -> Any:
-        yield self.env.timeout(join_at)
+    def _late_join_fired(self, receiver: "_GroupReceiver", loss, _event) -> None:
         # Skip the sequence space that predates the join: those packets
         # were not "lost", the member simply was not listening yet.
         receiver._next_seq = self._seq
@@ -408,7 +450,7 @@ class MulticastFeedbackSession:
             )
         self._promote(key)
         if lifetime != math.inf:
-            self.env.process(self._death_after(key, lifetime))
+            self._schedule_death(key, lifetime)
         self.observe()
 
     def update(self, key: Any, value: Any) -> None:
@@ -429,9 +471,12 @@ class MulticastFeedbackSession:
     def delete(self, key: Any) -> None:
         self._kill(key)
 
-    def _death_after(self, key: Any, lifetime: float):
-        yield self.env.timeout(lifetime)
-        self._kill(key)
+    def _schedule_death(self, key: Any, lifetime: float) -> None:
+        # A bare Timeout + callback: one heap entry per record death
+        # instead of the three events a generator process costs.
+        self.env.timeout(lifetime).callbacks.append(
+            lambda _event, key=key: self._kill(key)
+        )
 
     def _kill(self, key: Any) -> None:
         record = self.publisher.get(key)

@@ -123,3 +123,30 @@ def test_seeded_kernel_trace_is_seed_sensitive():
     # Sanity check that the trace actually depends on the seed (i.e. the
     # golden hash is not vacuously stable).
     assert seeded_kernel_trace(seed=0) != seeded_kernel_trace(seed=1)
+
+
+# -- (c) batched fan-out output == scalar fan-out output ------------------------
+
+
+def test_batched_fanout_renders_byte_identical_to_scalar():
+    """The batched multicast fan-out (dense registry + draw_batch + the
+    delivery deque) must not change a single byte of experiment output
+    relative to the scalar reference loop.  ``make bench-kernel`` checks
+    the full quick run-all; this pins the fastest multicast-heavy
+    experiment in the tier-1 suite.  cache=False so both runs compute."""
+    from repro.net import fanout_mode, set_fanout_mode
+
+    before = fanout_mode()
+    try:
+        set_fanout_mode("scalar")
+        scalar = run_experiment(
+            "ext_suppression", quick=True, seed=0, jobs=1, cache=False
+        )
+        set_fanout_mode("batched")
+        batched = run_experiment(
+            "ext_suppression", quick=True, seed=0, jobs=1, cache=False
+        )
+    finally:
+        set_fanout_mode(before)
+    assert batched.rows == scalar.rows
+    assert batched.render() == scalar.render()
