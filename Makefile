@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-json bench-cache bench-kernel overhead-check experiments experiments-quick examples clean
+.PHONY: install test lint bench bench-json bench-cache bench-kernel overhead-check chaos spec-overhead-check experiments experiments-quick examples clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -48,6 +48,18 @@ bench-kernel:
 # CI gate: tracing hooks must cost < 3% on the kernel when disabled.
 overhead-check:
 	$(PYTHON) benchmarks/overhead_check.py --assert-pct 3
+
+# Property-based chaos smoke (docs/SPEC.md): hypothesis-generated fault
+# schedules run with live invariant checking; the fixed seed makes the
+# report byte-identical across runs, shrinking pins any failure to a
+# minimal schedule.
+chaos:
+	PYTHONPATH=$(CURDIR)/src $(PYTHON) -m repro chaos --runs 20 --seed 0 --jobs 2
+
+# CI gate: live invariant checking (CheckingSink) must add < 5% to a
+# traced quick run-all (docs/SPEC.md "Overhead").
+spec-overhead-check:
+	$(PYTHON) benchmarks/spec_overhead_check.py --assert-pct 5
 
 experiments:
 	$(PYTHON) -m repro.experiments

@@ -35,9 +35,12 @@ def canonicalize(value: Any) -> Any:
     """A JSON-stable structure with the same equality as ``value``.
 
     Dicts sort by stringified key, tuples are tagged to stay distinct
-    from lists, and anything non-primitive falls back to ``repr`` —
-    which keys correctly for value-like objects and, for objects whose
-    repr includes identity (memory addresses), degrades to a permanent
+    from lists, and objects exposing ``__cache_key__()`` canonicalize
+    through it (e.g. fault schedules, whose repr omits most knobs —
+    keying those on repr alone collided cells that differed only in a
+    fault parameter).  Anything else falls back to ``repr`` — which
+    keys correctly for value-like objects and, for objects whose repr
+    includes identity (memory addresses), degrades to a permanent
     cache miss rather than a false hit.
     """
     if value is None or isinstance(value, (bool, int, float, str)):
@@ -51,6 +54,12 @@ def canonicalize(value: Any) -> Any:
             "__dict__": sorted(
                 (str(key), canonicalize(item)) for key, item in value.items()
             )
+        }
+    key_fn = getattr(type(value), "__cache_key__", None)
+    if key_fn is not None:
+        return {
+            "__key__": canonicalize(key_fn(value)),
+            "__type__": type(value).__name__,
         }
     return {"__repr__": repr(value)}
 

@@ -15,6 +15,11 @@ Subcommands:
   and stream the events to ``results/<id>/trace.jsonl``;
 * ``stats``      — run one experiment and print its merged metric
   registry plus run telemetry;
+* ``check``      — replay a JSONL trace (or trace an experiment first)
+  through the invariant library and print the verdict
+  (see docs/SPEC.md);
+* ``chaos``      — property-test the invariants under seeded random
+  fault schedules (see docs/SPEC.md);
 * ``lint``       — static determinism & simulation-safety analysis
   (see docs/LINT.md).
 
@@ -29,6 +34,9 @@ Examples::
     python -m repro cache stats
     python -m repro trace figure3 --category packet
     python -m repro stats figure8
+    python -m repro check results/figure3/trace.jsonl
+    python -m repro check --experiment figure3
+    python -m repro chaos --runs 20 --seed 0 --jobs 4
     python -m repro lint src benchmarks examples --baseline lint-baseline.json
 """
 
@@ -263,6 +271,68 @@ def _stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check(args: argparse.Namespace) -> int:
+    from repro.spec.checker import check_file
+
+    path = args.trace
+    if args.experiment:
+        if path:
+            print(
+                "give either a trace path or --experiment, not both",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.experiments.registry import run_experiment
+
+        path = os.path.join("results", args.experiment, "trace.jsonl")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tracer = Tracer(sink=JsonlSink(path))
+        try:
+            # One shared JSONL sink -> sequential, like `repro trace`.
+            with tracing(tracer):
+                run_experiment(
+                    args.experiment,
+                    quick=not args.full,
+                    seed=args.seed,
+                    jobs=1,
+                )
+        finally:
+            tracer.close()
+        print(f"traced {args.experiment} -> {path}")
+    elif not path:
+        print("give a trace path or --experiment ID", file=sys.stderr)
+        return 2
+    report = check_file(path)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def _chaos(args: argparse.Namespace) -> int:
+    from repro.spec import chaos as chaos_harness
+
+    if not chaos_harness.HAVE_HYPOTHESIS:
+        print(
+            "the chaos harness needs the 'hypothesis' package, which is "
+            "not importable in this environment",
+            file=sys.stderr,
+        )
+        return 2
+    report = chaos_harness.run_chaos(
+        runs=args.runs,
+        seed=args.seed,
+        jobs=args.jobs,
+        shrink=not args.no_shrink,
+    )
+    payload = json.dumps(report, sort_keys=True, indent=2)
+    if args.out:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"report -> {args.out}")
+    print(payload)
+    return 0 if report["failures"] == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -408,6 +478,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel worker processes (0 = one per CPU)",
     )
     stats.set_defaults(func=_stats)
+
+    check = sub.add_parser(
+        "check",
+        help="replay a trace through the invariant library (docs/SPEC.md)",
+    )
+    check.add_argument(
+        "trace",
+        nargs="?",
+        metavar="TRACE",
+        help="a docs/trace.schema.json-conformant JSONL file",
+    )
+    check.add_argument(
+        "--experiment",
+        metavar="ID",
+        help="trace this experiment first, then check the trace",
+    )
+    check.add_argument(
+        "--full",
+        action="store_true",
+        help="with --experiment: full-scale sweeps (default: --quick)",
+    )
+    check.add_argument("--seed", type=int, default=0)
+    check.set_defaults(func=_check)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="property-test the invariants under random fault schedules",
+    )
+    chaos.add_argument(
+        "--runs",
+        type=int,
+        default=20,
+        metavar="N",
+        help="number of generated fault scenarios (default 20)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel worker processes (0 = one per CPU)",
+    )
+    chaos.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="on failure, skip hypothesis shrinking of the schedule",
+    )
+    chaos.add_argument(
+        "--out", metavar="PATH", help="also write the JSON report here"
+    )
+    chaos.set_defaults(func=_chaos)
 
     lint = sub.add_parser(
         "lint",

@@ -22,7 +22,6 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 from repro.obs import runtime as _obs
 from repro.obs.trace import RECORD as _RECORD
 
-
 @dataclass(slots=True)
 class Record:
     """One {key, value} pair with lifetime/refresh bookkeeping.
@@ -69,6 +68,9 @@ class SoftStateTable:
         if role not in ("publisher", "subscriber"):
             raise ValueError(f"role must be publisher|subscriber, got {role!r}")
         self.role = role
+        #: Per-cell label disambiguating this table's trace rows from
+        #: other tables' in the same run (it never feeds simulation).
+        self.trace_id = _obs.next_trace_label("t")
         self._records: Dict[Any, Record] = {}
         self._on_expire: List[ExpiryCallback] = []
         #: Ambient tracer, cached at construction (guarded attribute —
@@ -131,6 +133,7 @@ class SoftStateTable:
                     key=key,
                     role=self.role,
                     version=record.version,
+                    table=self.trace_id,
                 )
             return record
         if version is None:
@@ -166,6 +169,7 @@ class SoftStateTable:
                 key=key,
                 role=self.role,
                 version=existing.version,
+                table=self.trace_id,
             )
         return existing
 
@@ -177,7 +181,14 @@ class SoftStateTable:
         record.last_refreshed = now
         tr = self._trace
         if tr is not None and tr.record:
-            tr.emit(_RECORD, "record_refreshed", now, key=key, role=self.role)
+            tr.emit(
+                _RECORD,
+                "record_refreshed",
+                now,
+                key=key,
+                role=self.role,
+                table=self.trace_id,
+            )
         return True
 
     def delete(self, key: Any) -> Optional[Record]:
@@ -189,7 +200,14 @@ class SoftStateTable:
             if tr is not None and tr.record:
                 # Deletion is initiated outside the table (no clock in
                 # scope), so the record carries no timestamp.
-                tr.emit(_RECORD, "record_deleted", None, key=key, role=self.role)
+                tr.emit(
+                    _RECORD,
+                    "record_deleted",
+                    None,
+                    key=key,
+                    role=self.role,
+                    table=self.trace_id,
+                )
         return record
 
     def expire(self, now: float) -> List[Record]:
@@ -226,6 +244,14 @@ class SoftStateTable:
             del records[record.key]
             self.expirations += 1
             if trace_records:
+                # The timer deadline this expiry decision was based on;
+                # a spec checker compares it against ``now`` and against
+                # the refresh history to detect false expiries.
+                deadline = (
+                    record.created_at + record.lifetime
+                    if publisher
+                    else record.last_refreshed + record.hold_time
+                )
                 tr.emit(
                     _RECORD,
                     "record_expired",
@@ -233,6 +259,8 @@ class SoftStateTable:
                     key=record.key,
                     role=self.role,
                     version=record.version,
+                    table=self.trace_id,
+                    deadline=deadline,
                 )
             for callback in self._on_expire:
                 callback(record, now)

@@ -43,6 +43,7 @@ from repro.cache import runtime as _cache_runtime
 from repro.obs import runtime as _obs
 from repro.obs import telemetry as _telemetry
 from repro.obs.telemetry import CellMeta
+from repro.obs.trace import RUN as _RUN
 
 __all__ = ["CellError", "map_cells", "resolve_jobs"]
 
@@ -77,15 +78,29 @@ def _run_cell(
     so the parent process always owns telemetry aggregation.
     """
     sample_heap = _telemetry.tracemalloc_enabled()
+    tr = _obs.current_tracer()
     try:
         if sample_heap:
             tracemalloc.start()
+        if tr is not None and tr.run:
+            # Cell boundaries let a trace checker partition one JSONL
+            # stream into per-cell segments (each cell restarts the
+            # simulation clock at zero).  No clock is in scope here.
+            tr.emit(
+                _RUN,
+                "cell_start",
+                None,
+                index=index,
+                fn=f"{fn.__module__}.{fn.__qualname__}",
+            )
         # Host wall time is the *measurement target* here (per-cell cost
         # telemetry); it never feeds simulation state.
         start = time.perf_counter()  # repro-lint: disable=RPR002
         with _obs.cell_context() as ctx:
             result = fn(**kwargs)
         wall = time.perf_counter() - start  # repro-lint: disable=RPR002
+        if tr is not None and tr.run:
+            tr.emit(_RUN, "cell_end", None, index=index)
         peak = None
         if sample_heap:
             peak = tracemalloc.get_traced_memory()[1]
@@ -93,6 +108,10 @@ def _run_cell(
     except Exception as exc:
         if sample_heap and tracemalloc.is_tracing():
             tracemalloc.stop()
+        if tr is not None:
+            # Leave the partial trace durable and parseable: a failed
+            # cell's events are exactly what a post-mortem check needs.
+            tr.flush()
         raise CellError(
             f"{_cell_identity(fn, index, kwargs)} failed: {exc!r}"
         ) from exc

@@ -44,8 +44,14 @@ class FaultInjector:
         """A fresh numbered substream (overlay loss chains, etc.)."""
         return self.rng[f"overlay-{next(self._counter)}"]
 
-    def start(self) -> None:
-        """Spawn one kernel process per scheduled fault."""
+    def start(self, horizon: Optional[float] = None) -> None:
+        """Spawn one kernel process per scheduled fault.
+
+        When the caller knows the run horizon, faults scheduled at or
+        beyond it are rejected up front (they would silently never
+        trigger).
+        """
+        self.schedule.validate(horizon)
         tr = self.env._trace
         trace_faults = tr is not None and tr.fault
         for fault in self.schedule:

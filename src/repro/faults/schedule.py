@@ -44,10 +44,52 @@ class Fault:
 
     label: str = "fault"
     kind: str = "fault"
+    #: Resource the fault exclusively holds while active, used for
+    #: overlap validation: two faults in the same claim group with
+    #: overlapping windows would clobber each other's save/restore
+    #: tokens (e.g. a second outage capturing TotalLoss as the
+    #: "original" loss model).  ``None`` means no exclusive claim.
+    claim: Optional[str] = None
 
     def run(self, injector):
         """Generator body executed as a simulation process."""
         raise NotImplementedError
+
+    def window(self) -> Optional[tuple]:
+        """Deterministic ``(start, end)`` active interval, if known.
+
+        Stochastic faults (churn) return None and are exempt from
+        overlap validation; their hooks are idempotent per receiver.
+        """
+        return None
+
+    def earliest_start(self) -> Optional[float]:
+        """First simulation time at which this fault can trigger."""
+        window = self.window()
+        return window[0] if window is not None else None
+
+    def __cache_key__(self):
+        """Canonical parameter dict for content-addressed cache keys.
+
+        Every constructor parameter must land in the key: two faults
+        differing in any knob must never collide (a cache hit across
+        different fault configs silently corrupts faulted results).
+        """
+        params = {"fault": type(self).__name__}
+        for name, value in sorted(vars(self).items()):
+            if name == "label":
+                continue  # derived from the parameters
+            if isinstance(value, (set, frozenset)):
+                value = sorted(value)
+            elif isinstance(value, list):
+                value = [
+                    sorted(item)
+                    if isinstance(item, (set, frozenset))
+                    else item
+                    for item in value
+                ]
+            params[name] = value
+        return params
 
     def _hook(self, session, name: str) -> Callable[..., Any]:
         hook = getattr(session, name, None)
@@ -73,6 +115,7 @@ class SenderCrash(Fault):
     """
 
     kind = "sender-crash"
+    claim = "sender"
 
     def __init__(self, at: float, down_for: float, cold: bool = False) -> None:
         if at < 0:
@@ -83,6 +126,9 @@ class SenderCrash(Fault):
         self.down_for = down_for
         self.cold = cold
         self.label = f"{'cold-' if cold else ''}crash@{at:g}"
+
+    def window(self):
+        return (self.at, self.at + self.down_for)
 
     def run(self, injector):
         yield injector.env.timeout(self.at)
@@ -101,6 +147,7 @@ class LinkOutage(Fault):
     """
 
     kind = "link-outage"
+    claim = "link"
 
     def __init__(self, at: float, duration: float) -> None:
         if at < 0:
@@ -110,6 +157,9 @@ class LinkOutage(Fault):
         self.at = at
         self.duration = duration
         self.label = f"outage@{at:g}"
+
+    def window(self):
+        return (self.at, self.at + self.duration)
 
     def run(self, injector):
         yield injector.env.timeout(self.at)
@@ -133,6 +183,7 @@ class LossEpisode(Fault):
     """
 
     kind = "loss-episode"
+    claim = "link"
 
     def __init__(
         self,
@@ -150,6 +201,9 @@ class LossEpisode(Fault):
         self.mean_loss = mean_loss
         self.burst_length = burst_length
         self.label = f"loss-episode@{at:g}"
+
+    def window(self):
+        return (self.at, self.at + self.duration)
 
     def run(self, injector):
         yield injector.env.timeout(self.at)
@@ -208,6 +262,9 @@ class ReceiverChurn(Fault):
         self.receivers = list(receivers) if receivers is not None else None
         self.label = f"churn(rate={rate:g})"
 
+    def earliest_start(self):
+        return self.start
+
     def run(self, injector):
         env = injector.env
         session = injector.session
@@ -256,6 +313,7 @@ class Partition(Fault):
     """
 
     kind = "partition"
+    claim = "link"
 
     def __init__(
         self, groups: Sequence[Iterable[Any]], at: float, heal_at: float
@@ -270,6 +328,9 @@ class Partition(Fault):
         self.at = at
         self.heal_at = heal_at
         self.label = f"partition@{at:g}"
+
+    def window(self):
+        return (self.at, self.heal_at)
 
     def run(self, injector):
         yield injector.env.timeout(self.at)
@@ -302,14 +363,55 @@ class FaultSchedule:
             raise TypeError(
                 f"expected a Fault, got {type(fault).__name__}: {fault!r}"
             )
+        if fault.claim is not None:
+            window = fault.window()
+            if window is not None:
+                start, end = window
+                for other in self._faults:
+                    if other.claim != fault.claim:
+                        continue
+                    other_window = other.window()
+                    if other_window is None:
+                        continue
+                    other_start, other_end = other_window
+                    if start < other_end and other_start < end:
+                        raise ValueError(
+                            f"{fault.label} [{start:g}, {end:g}) overlaps "
+                            f"{other.label} [{other_start:g}, {other_end:g}) "
+                            f"on the same target ({fault.claim}): "
+                            "overlapping faults would clobber each "
+                            "other's save/restore state"
+                        )
         self._faults.append(fault)
         return self
+
+    def validate(self, horizon: Optional[float] = None) -> None:
+        """Reject faults that can never trigger within ``horizon``.
+
+        Overlap and parameter-sign errors are caught at construction
+        time; the horizon is only known when the schedule is armed on a
+        session run, so the injector calls this with it.
+        """
+        if horizon is None:
+            return
+        for fault in self._faults:
+            start = fault.earliest_start()
+            if start is not None and start >= horizon:
+                raise ValueError(
+                    f"{fault.label} starts at {start:g}, at or beyond "
+                    f"the run horizon {horizon:g}; it would never "
+                    "trigger"
+                )
 
     def __iter__(self):
         return iter(self._faults)
 
     def __len__(self) -> int:
         return len(self._faults)
+
+    def __cache_key__(self):
+        """Canonical content for cache keys: every fault, every knob."""
+        return {"faults": [fault.__cache_key__() for fault in self._faults]}
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(fault) for fault in self._faults)

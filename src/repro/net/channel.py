@@ -36,6 +36,7 @@ from repro.net.loss import (
     rng_sources,
 )
 from repro.net.packet import Packet, _packet_ids, kbps_to_pps
+from repro.obs import runtime as _obs
 from repro.obs.trace import PACKET as _PACKET
 
 #: Runtime selector for the multicast fan-out implementation.  The
@@ -44,7 +45,6 @@ from repro.obs.trace import PACKET as _PACKET
 #: fast path.  Both produce identical seeded results — the toggle exists
 #: so benchmarks and equivalence tests can compare them in-process.
 _FANOUT_MODE = "batched"
-
 
 def set_fanout_mode(mode: str) -> None:
     """Select the fan-out implementation: ``"scalar"`` or ``"batched"``."""
@@ -86,6 +86,9 @@ class Channel:
         self.rate_kbps = rate_kbps
         self.loss = loss if loss is not None else NoLoss()
         self.delay = delay
+        #: Per-cell label for this channel's trace rows (never fed back
+        #: into the simulation).
+        self.chan = _obs.next_trace_label("c")
         self._queue: Store = Store(env)
         self._sinks: list[Callable[[Packet], None]] = []
         self._serviced_hooks: list[Callable[[Packet, bool], None]] = []
@@ -124,6 +127,7 @@ class Channel:
                 seq=packet.seq,
                 size_bits=packet.size_bits,
                 backlog=len(self._queue),
+                chan=self.chan,
             )
         self._queue.put(packet)
 
@@ -171,6 +175,7 @@ class Channel:
                     seq=packet.seq,
                     size_bits=packet.size_bits,
                     lost=lost,
+                    chan=self.chan,
                 )
             for hook in self._serviced_hooks:
                 hook(packet, lost)
@@ -186,6 +191,7 @@ class Channel:
                         self.env.now,
                         kind=packet.kind,
                         seq=packet.seq,
+                        chan=self.chan,
                     )
                 continue
             self.packets_delivered += 1
@@ -238,6 +244,7 @@ class Channel:
                 self.env.now,
                 kind=packet.kind,
                 seq=packet.seq,
+                chan=self.chan,
             )
         for sink in self._sinks:
             sink(packet)
@@ -312,6 +319,9 @@ class MulticastChannel:
         self.env = env
         self.rate_kbps = rate_kbps
         self.delay = delay
+        #: Per-cell label for this channel's trace rows (never fed back
+        #: into the simulation).
+        self.chan = _obs.next_trace_label("c")
         #: Loss on the shared upstream path: one decision per packet
         #: affecting the whole group (correlated loss), applied before
         #: each receiver's independent last-hop loss.
@@ -418,6 +428,7 @@ class MulticastChannel:
                 seq=packet.seq,
                 size_bits=packet.size_bits,
                 backlog=len(self._queue),
+                chan=self.chan,
             )
         self._queue.put(packet)
 
@@ -516,6 +527,7 @@ class MulticastChannel:
                     size_bits=packet.size_bits,
                     receivers=len(outcomes),
                     lost=sum(1 for v in outcomes.values() if v),
+                    chan=self.chan,
                 )
             for hook in self._serviced_hooks:
                 hook(packet, outcomes)
@@ -546,6 +558,7 @@ class MulticastChannel:
                     kind=packet.kind,
                     seq=packet.seq,
                     receiver=receiver_id,
+                    chan=self.chan,
                 )
             if self.delay > 0:
                 self.env.process(self._deliver_after(delivery, sink))
@@ -623,6 +636,7 @@ class MulticastChannel:
                         kind=kind,
                         seq=seq,
                         receiver=receiver_id,
+                        chan=self.chan,
                     )
                 if delay > 0:
                     self._enqueue_delayed(delivery, sink)
@@ -658,6 +672,7 @@ class MulticastChannel:
                     kind=kind,
                     seq=seq,
                     receiver=receiver_id,
+                    chan=self.chan,
                 )
             if delay > 0:
                 self._enqueue_delayed(delivery, sink)

@@ -47,6 +47,7 @@ from repro.obs.trace import (
     PACKET,
     RECORD,
     RUN,
+    SPEC,
     WARNING,
     JsonlSink,
     RingBufferSink,
@@ -69,6 +70,7 @@ __all__ = [
     "Registry",
     "RingBufferSink",
     "RunTelemetry",
+    "SPEC",
     "Tracer",
     "WARNING",
     "cell_context",

@@ -30,7 +30,7 @@ it without cycles.
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set
 
 from repro.obs.metrics import Registry
 
@@ -41,6 +41,7 @@ __all__ = [
     "current_tracer",
     "install_tracer",
     "next_session_label",
+    "next_trace_label",
     "note_events",
     "note_rng_stream",
     "pop_registry",
@@ -125,24 +126,31 @@ class CellContext:
     worker processes.
     """
 
-    __slots__ = ("events", "rng_streams", "registry", "_next_session")
+    __slots__ = ("events", "rng_streams", "registry", "_next_session", "_labels")
 
     def __init__(self, registry: Registry) -> None:
         self.events = 0
         self.rng_streams: Set[str] = set()
         self.registry = registry
         self._next_session = 0
+        self._labels: Dict[str, int] = {}
 
     def next_session_id(self) -> int:
         sid = self._next_session
         self._next_session = sid + 1
         return sid
 
+    def next_label_id(self, prefix: str) -> int:
+        n = self._labels.get(prefix, 0)
+        self._labels[prefix] = n + 1
+        return n
+
 
 _cell: Optional[CellContext] = None
 #: Session numbering fallback used outside any cell context (direct
 #: library use, unit tests): still unique, just process-global.
 _global_session_counter = 0
+_global_label_counters: Dict[str, int] = {}
 
 
 def current_cell() -> Optional[CellContext]:
@@ -192,3 +200,19 @@ def next_session_label() -> str:
     sid = _global_session_counter
     _global_session_counter = sid + 1
     return f"s{sid}"
+
+
+def next_trace_label(prefix: str) -> str:
+    """A deterministic per-cell trace label (``c0``, ``t1``, ...).
+
+    Channels and tables stamp their trace rows with these so events are
+    attributable to a specific object.  Inside a cell context numbering
+    restarts per cell per prefix — the ids a trace (and any checker
+    verdict derived from it) contains are then invariant to ``--jobs``
+    and to whatever ran earlier in the process.
+    """
+    if _cell is not None:
+        return f"{prefix}{_cell.next_label_id(prefix)}"
+    n = _global_label_counters.get(prefix, 0)
+    _global_label_counters[prefix] = n + 1
+    return f"{prefix}{n}"

@@ -42,6 +42,7 @@ __all__ = [
     "RECORD",
     "RUN",
     "RingBufferSink",
+    "SPEC",
     "Tracer",
     "WARNING",
     "record_as_dict",
@@ -53,8 +54,9 @@ RECORD = "record"
 FAULT = "fault"
 RUN = "run"
 WARNING = "warning"
+SPEC = "spec"
 
-CATEGORIES: Tuple[str, ...] = (KERNEL, PACKET, RECORD, FAULT, RUN, WARNING)
+CATEGORIES: Tuple[str, ...] = (KERNEL, PACKET, RECORD, FAULT, RUN, WARNING, SPEC)
 
 TraceRecord = Tuple[Optional[float], str, str, Dict[str, Any]]
 
@@ -101,6 +103,9 @@ class RingBufferSink:
         """Records that have rotated out of the buffer."""
         return self.total - len(self._records)
 
+    def flush(self) -> None:  # symmetric with JsonlSink
+        pass
+
     def close(self) -> None:  # symmetric with JsonlSink
         pass
 
@@ -124,6 +129,9 @@ class JsonlSink:
         }
         self._file.write(json.dumps(row, separators=(",", ":")) + "\n")
         self.total += 1
+
+    def flush(self) -> None:
+        self._file.flush()
 
     def close(self) -> None:
         self._file.flush()
@@ -188,6 +196,12 @@ class Tracer:
     def counts(self) -> Dict[str, int]:
         """Buffered record tallies by category (ring-buffer sinks only)."""
         return dict(_TallyCounter(record[1] for record in self.sink.records()))
+
+    def flush(self) -> None:
+        """Push buffered records to durable storage without closing."""
+        flush = getattr(self.sink, "flush", None)
+        if flush is not None:
+            flush()
 
     def close(self) -> None:
         self.sink.close()

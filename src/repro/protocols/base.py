@@ -40,6 +40,7 @@ from repro.net import (
     TotalLoss,
 )
 from repro.obs import runtime as _obs
+from repro.obs.trace import RECORD as _RECORD, RUN as _RUN
 from repro.workloads import PoissonUpdateWorkload, Workload
 
 
@@ -94,6 +95,8 @@ class SoftStateReceiver:
         self.env = env
         self.table = SoftStateTable("subscriber")
         self.latency = latency
+        #: Ambient tracer, cached at construction (guarded attribute).
+        self._trace = _obs.current_tracer()
         #: Optional scalable-timers estimator (repro.sstp.timers): when
         #: set, hold times come from measured refresh intervals instead
         #: of a static announce_interval_hint.
@@ -177,8 +180,22 @@ class SoftStateReceiver:
                 self.table.bound_expiry(
                     existing.last_refreshed + existing.hold_time
                 )
+            tr = self._trace
+            if tr is not None and tr.record:
+                # ``hold`` is the timer actually granted — the spec
+                # checker derives each record's true expiry deadline
+                # from (refresh time, hold) pairs.
+                tr.emit(
+                    _RECORD,
+                    "refresh_received",
+                    now,
+                    key=key,
+                    version=existing.version,
+                    hold=existing.hold_time,
+                    table=self.table.trace_id,
+                )
         else:
-            self.table.put(
+            stored = self.table.put(
                 key,
                 payload["value"],
                 now=now,
@@ -186,6 +203,17 @@ class SoftStateReceiver:
                 hold_time=self._hold_time(key, payload["expires_at"]),
             )
             self.latency.received(key, version, now)
+            tr = self._trace
+            if tr is not None and tr.record:
+                tr.emit(
+                    _RECORD,
+                    "refresh_received",
+                    now,
+                    key=key,
+                    version=stored.version,
+                    hold=stored.hold_time,
+                    table=self.table.trace_id,
+                )
         self.table.expire(now)
         if self.on_deliver is not None:
             self.on_deliver(packet)
@@ -240,6 +268,9 @@ class BaseSession:
         # Deterministic per-cell session label ("s0", "s1", ...) keys
         # this session's series in the ambient metric registry.
         session_label = _obs.next_session_label()
+        self._session_label = session_label
+        #: Ambient tracer, cached at construction (guarded attribute).
+        self._trace = _obs.current_tracer()
         protocol = type(self).__name__
         self.latency = LatencyRecorder(
             session=session_label, protocol=protocol
@@ -383,6 +414,15 @@ class BaseSession:
         self._last_observe = now
         self.receiver.table.expire(now)
         self.meter.observe(now)
+        tr = self._trace
+        if tr is not None and tr.run:
+            tr.emit(
+                _RUN,
+                "consistency_sample",
+                now,
+                value=self.meter._effective_value(self.meter._last_value),
+                session=self._session_label,
+            )
 
     def _make_packet(self, key: Any, repairs: Tuple[int, ...] = ()) -> Packet:
         record = self.publisher.get(key)
@@ -587,7 +627,9 @@ class BaseSession:
         self.env.process(self._ticker())
         self._start_extra_processes()
         if self.faults is not None:
-            FaultInjector(self, self.faults, self.fault_tracker).start()
+            FaultInjector(self, self.faults, self.fault_tracker).start(
+                horizon=horizon
+            )
         self.env.run(until=warmup)
         self.meter = ConsistencyMeter(
             self.publisher,

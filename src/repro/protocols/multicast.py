@@ -40,6 +40,7 @@ from repro.core import (
 from repro.des import Environment, Interrupt, RngStreams, SimulationError
 from repro.faults import FaultInjector, sender_side
 from repro.obs import runtime as _obs
+from repro.obs.trace import RUN as _RUN
 from repro.net import BernoulliLoss, CombinedLoss, MulticastChannel, Packet, TotalLoss
 from repro.protocols.states import RecordState, RecordStateMachine
 from repro.protocols.two_queue import COLD, HOT, make_scheduler
@@ -318,6 +319,9 @@ class MulticastFeedbackSession:
 
         self.publisher = SoftStateTable("publisher")
         session_label = _obs.next_session_label()
+        self._session_label = session_label
+        #: Ambient tracer, cached at construction (guarded attribute).
+        self._trace = _obs.current_tracer()
         protocol = type(self).__name__
         self.latency = LatencyRecorder(
             session=session_label, protocol=protocol
@@ -439,6 +443,15 @@ class MulticastFeedbackSession:
         self.meter.observe(now)
         for meter in self._per_receiver_meters.values():
             meter.observe(now)
+        tr = self._trace
+        if tr is not None and tr.run:
+            tr.emit(
+                _RUN,
+                "consistency_sample",
+                now,
+                value=self.meter._effective_value(self.meter._last_value),
+                session=self._session_label,
+            )
 
     # -- publisher actions --------------------------------------------------------------
     def insert(self, key: Any, value: Any, lifetime: float = math.inf) -> None:
@@ -722,7 +735,9 @@ class MulticastFeedbackSession:
         self.sender_process = self.env.process(self._sender_loop())
         self.env.process(self._ticker())
         if self.faults is not None:
-            FaultInjector(self, self.faults, self.fault_tracker).start()
+            FaultInjector(self, self.faults, self.fault_tracker).start(
+                horizon=horizon
+            )
         self.env.run(until=warmup)
         self.meter = ConsistencyMeter(
             self.publisher,

@@ -35,6 +35,7 @@ from repro.core import LatencyRecorder, RecoveryTracker
 from repro.des import Environment, RngStreams
 from repro.faults import FaultInjector, sender_side
 from repro.obs import runtime as _obs
+from repro.obs.trace import RUN as _RUN
 from repro.net import (
     BernoulliLoss,
     Channel,
@@ -137,8 +138,11 @@ class SstpSession:
         self.allocation = initial
 
         self.data_channel = MulticastChannel(self.env, data_kbps)
+        self._session_label = _obs.next_session_label()
+        #: Ambient tracer, cached at construction (guarded attribute).
+        self._trace = _obs.current_tracer()
         self.latency = LatencyRecorder(
-            session=_obs.next_session_label(), protocol=type(self).__name__
+            session=self._session_label, protocol=type(self).__name__
         )
         self.sender = SstpSender(
             self.env,
@@ -290,8 +294,18 @@ class SstpSession:
                 continue
             meter.observe(now, self._mirror_consistency(receiver))
             values.append(meter.value)
-        if self.fault_tracker is not None and values:
-            self._series.append((now, sum(values) / len(values)))
+        if values:
+            if self.fault_tracker is not None:
+                self._series.append((now, sum(values) / len(values)))
+            tr = self._trace
+            if tr is not None and tr.run:
+                tr.emit(
+                    _RUN,
+                    "consistency_sample",
+                    now,
+                    value=sum(values) / len(values),
+                    session=self._session_label,
+                )
 
     def _mirror_consistency(self, receiver: SstpReceiver) -> Optional[float]:
         """Fraction of the sender's ADUs (of interest) mirrored exactly."""
@@ -392,7 +406,9 @@ class SstpSession:
             self.env.process(self._adapt_loop())
         self.env.process(self._meter_loop())
         if self.faults is not None:
-            FaultInjector(self, self.faults, self.fault_tracker).start()
+            FaultInjector(self, self.faults, self.fault_tracker).start(
+                horizon=horizon
+            )
         self.env.run(until=warmup)
         for receiver in self.receivers:
             self._meters[receiver.receiver_id] = _MirrorMeter(warmup)

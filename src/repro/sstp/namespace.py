@@ -15,6 +15,7 @@ paper's PDA-browser example.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.sstp.digest import digest_children, digest_leaf
@@ -241,6 +242,25 @@ class Namespace:
             (node.children[name].path, node.children[name].digest(self.algorithm))
             for name in sorted(node.children)
         ]
+
+    def content_fingerprint(self) -> str:
+        """A digest-machinery-independent hash of the leaf contents.
+
+        The spec checker uses this to verify the paper's claim that
+        digest agreement implies namespace agreement (Section 6): two
+        namespaces reporting the same root digest must also report the
+        same fingerprint.  It is deliberately computed without
+        ``digest_leaf``/``digest_children`` so a bug in the Merkle
+        machinery cannot also corrupt the oracle.
+        """
+        hasher = hashlib.sha256()
+        for leaf in self.leaves():
+            hasher.update(
+                repr(
+                    (leaf.path, leaf.version, leaf.right_edge, leaf.value)
+                ).encode("utf-8", "backslashreplace")
+            )
+        return hasher.hexdigest()
 
     def leaves(self) -> Iterator[NamespaceNode]:
         def walk(node: NamespaceNode) -> Iterator[NamespaceNode]:

@@ -34,6 +34,7 @@ from repro.core import BandwidthLedger, FaultReport, LatencyRecorder
 from repro.des import Environment, Interrupt
 from repro.net import Channel, MulticastChannel, Packet
 from repro.obs import runtime as _obs
+from repro.obs.trace import RECORD as _RECORD
 from repro.sched import HierarchicalScheduler
 from repro.sstp.namespace import Namespace
 from repro.sstp.receiver_report import LossEstimator, ReportBuilder
@@ -115,6 +116,8 @@ class SstpReceiver:
         self.on_remove = on_remove
         self.latency = latency
         self.mirror = Namespace()
+        #: Ambient tracer, cached at construction (guarded attribute).
+        self._trace = _obs.current_tracer()
         self.report_builder = ReportBuilder(receiver_id)
         self.queries_sent = 0
         self.repairs_requested = 0
@@ -153,7 +156,27 @@ class SstpReceiver:
             self.on_update(path, payload["value"])
 
     def _on_summary(self, payload: Dict[str, Any]) -> None:
-        if payload["digest"] != self.mirror.root_digest():
+        digest = payload["digest"]
+        mine = self.mirror.root_digest()
+        match = digest == mine
+        tr = self._trace
+        if tr is not None and tr.record:
+            # On a match, also report the mirror's digest-independent
+            # content fingerprint: the spec checker compares it with the
+            # sender's to verify digest agreement ⇒ namespace agreement.
+            tr.emit(
+                _RECORD,
+                "summary_checked",
+                self.env.now,
+                receiver=self.receiver_id,
+                digest=digest.hex(),
+                mirror_digest=mine.hex(),
+                match=match,
+                fingerprint=(
+                    self.mirror.content_fingerprint() if match else None
+                ),
+            )
+        if not match:
             self._query("", descend=True)
 
     def _on_digests(self, payload: Dict[str, Any]) -> None:
@@ -288,6 +311,8 @@ class SstpSender:
         #: Set while the sender is crashed: feedback arriving in this
         #: window reaches a dead process and is simply lost.
         self.crashed = False
+        #: Ambient tracer, cached at construction (guarded attribute).
+        self._trace = _obs.current_tracer()
         self._process = env.process(self._run())
         env.process(self._summary_pump())
 
@@ -420,13 +445,23 @@ class SstpSender:
     def _build(self, kind: str, path: str) -> Optional[Packet]:
         if kind == "summary":
             self.summary_packets += 1
+            digest = self.namespace.root_digest()
             packet = Packet(
                 kind="summary",
                 seq=self._next_seq(),
-                payload={"digest": self.namespace.root_digest()},
+                payload={"digest": digest},
                 size_bits=SUMMARY_BITS,
             )
             self.ledger.add("summary", packet.size_bits)
+            tr = self._trace
+            if tr is not None and tr.record:
+                tr.emit(
+                    _RECORD,
+                    "summary_digest",
+                    self.env.now,
+                    digest=digest.hex(),
+                    fingerprint=self.namespace.content_fingerprint(),
+                )
             return packet
         if kind == "digests":
             node = self.namespace.find(path)

@@ -1,0 +1,78 @@
+"""Cache-key soundness for fault schedules.
+
+Regression: ``FaultSchedule``'s repr only names its fault types, so the
+repr-fallback canonicalization collided cells that differed only in a
+fault knob — a warm cache silently served crash@80 results for a
+crash@80(cold) run.  Schedules now canonicalize through
+``__cache_key__``, which captures every constructor parameter.
+"""
+
+from repro.cache.keys import canonicalize, cell_key
+from repro.faults import (
+    FaultSchedule,
+    LinkOutage,
+    LossEpisode,
+    Partition,
+    ReceiverChurn,
+    SenderCrash,
+)
+
+
+def _cell_fn(**kwargs):  # a stand-in cell function for key derivation
+    return kwargs
+
+
+def _key(schedule):
+    return cell_key(_cell_fn, {"seed": 0, "faults": schedule}, "codefp")
+
+
+def test_schedules_differing_only_in_a_knob_get_distinct_keys():
+    warm = FaultSchedule([SenderCrash(at=80.0, down_for=10.0)])
+    cold = FaultSchedule([SenderCrash(at=80.0, down_for=10.0, cold=True)])
+    longer = FaultSchedule([SenderCrash(at=80.0, down_for=12.0)])
+    keys = {_key(warm), _key(cold), _key(longer)}
+    assert len(keys) == 3
+
+
+def test_equal_schedules_get_equal_keys():
+    build = lambda: FaultSchedule(  # noqa: E731 - tiny local factory
+        [
+            SenderCrash(at=80.0, down_for=10.0),
+            LossEpisode(at=10.0, duration=5.0, mean_loss=0.4),
+            ReceiverChurn(rate=0.1, down_mean=3.0),
+        ]
+    )
+    # Two separately constructed (different object identity) schedules
+    # with the same content must collide — that is what makes a warm
+    # cache hit across runs possible at all.
+    assert _key(build()) == _key(build())
+
+
+def test_every_fault_type_canonicalizes_every_knob():
+    faults = [
+        SenderCrash(at=1.0, down_for=2.0, cold=True),
+        LinkOutage(at=5.0, duration=1.0),
+        LossEpisode(at=10.0, duration=2.0, mean_loss=0.3, burst_length=4.0),
+        ReceiverChurn(rate=0.2, down_mean=5.0, cold=False, start=3.0),
+        Partition([["sender"], ["r0", "r1"]], at=20.0, heal_at=25.0),
+    ]
+    payload = canonicalize(FaultSchedule(faults))
+    text = repr(payload)
+    # No memory addresses (identity leaks would break cross-run hits)...
+    assert "0x" not in text
+    # ...and the knobs that repr used to omit are all present.
+    for token in (
+        "cold", "down_for", "duration", "mean_loss", "burst_length",
+        "down_mean", "heal_at", "groups",
+    ):
+        assert token in text, token
+
+
+def test_partition_group_sets_are_order_stable():
+    one = FaultSchedule(
+        [Partition([{"sender"}, {"r1", "r0", "r2"}], at=1.0, heal_at=2.0)]
+    )
+    two = FaultSchedule(
+        [Partition([{"sender"}, {"r2", "r0", "r1"}], at=1.0, heal_at=2.0)]
+    )
+    assert _key(one) == _key(two)

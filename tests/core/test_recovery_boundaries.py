@@ -1,0 +1,85 @@
+"""RecoveryTracker boundary behaviour: windows at the edges of a run.
+
+These pin the corner cases the resilience experiments walk right up
+to: a fault that heals exactly when the run ends, zero-duration
+windows, and back-to-back fault windows.
+"""
+
+import math
+
+from repro.core.metrics import RecoveryTracker
+
+
+def _series(points):
+    return [(float(t), float(c)) for t, c in points]
+
+
+def test_fault_clearing_exactly_at_horizon_end():
+    # The window heals at the final sample: recovery can only be
+    # observed at that very sample.
+    tracker = RecoveryTracker(tolerance=0.05, baseline_window=10.0)
+    tracker.add_window("outage", start=40.0, end=60.0, kind="link-outage")
+    series = _series(
+        [(t, 1.0) for t in range(0, 40)]
+        + [(t, 0.2) for t in range(40, 60)]
+        + [(60, 1.0)]
+    )
+    (report,) = tracker.analyze(series)
+    assert report.recovered_at == 60.0
+    assert report.recovery_s == 0.0
+
+
+def test_fault_clearing_at_horizon_without_recovery_sample():
+    # The run ends while the fault is still active: recovery is
+    # unobserved, reported as NaN rather than invented.
+    tracker = RecoveryTracker(tolerance=0.05, baseline_window=10.0)
+    tracker.add_window("outage", start=40.0, end=60.0, kind="link-outage")
+    series = _series(
+        [(t, 1.0) for t in range(0, 40)] + [(t, 0.2) for t in range(40, 60)]
+    )
+    (report,) = tracker.analyze(series)
+    assert math.isnan(report.recovered_at)
+    assert math.isnan(report.recovery_s)
+
+
+def test_zero_duration_window_is_accepted():
+    # An instantaneous fault (e.g. a cold receiver restart modelled as
+    # a point event): start == end is a legal window.
+    tracker = RecoveryTracker(tolerance=0.05, baseline_window=10.0)
+    window = tracker.add_window("blip", start=30.0, end=30.0, kind="churn")
+    assert window.start == window.end == 30.0
+    series = _series([(t, 1.0) for t in range(0, 61)])
+    (report,) = tracker.analyze(series)
+    assert report.recovered_at == 30.0
+    assert report.recovery_s == 0.0
+
+
+def test_back_to_back_windows_report_independently():
+    tracker = RecoveryTracker(tolerance=0.05, baseline_window=10.0)
+    tracker.add_window("first", start=20.0, end=30.0, kind="link-outage")
+    tracker.add_window("second", start=30.0, end=40.0, kind="link-outage")
+    series = _series(
+        [(t, 1.0) for t in range(0, 20)]
+        + [(t, 0.3) for t in range(20, 40)]
+        + [(t, 1.0) for t in range(40, 70)]
+    )
+    first, second = tracker.analyze(series)
+    # The first window's recovery search starts at its own end but the
+    # dip persists through the second window — both recover at t=40.
+    assert first.recovered_at == 40.0
+    assert first.recovery_s == 10.0
+    assert second.recovered_at == 40.0
+    assert second.recovery_s == 0.0
+    # Baselines differ: the second window's pre-fault interval is
+    # already degraded by the first fault.
+    assert first.baseline > second.baseline
+
+
+def test_window_rejects_end_before_start():
+    tracker = RecoveryTracker()
+    try:
+        tracker.add_window("bad", start=10.0, end=9.0)
+    except ValueError as exc:
+        assert "before" in str(exc)
+    else:  # pragma: no cover - the add must raise
+        raise AssertionError("end < start was accepted")

@@ -1,0 +1,47 @@
+"""A failing cell must leave a durable, parseable partial trace.
+
+The tracer buffers JSONL writes in the file object; if a cell raises
+and the buffer is dropped, the events leading up to the failure — the
+ones a post-mortem needs most — are lost.  The runner flushes the
+tracer before wrapping the failure in CellError.
+"""
+
+import pytest
+
+from repro.experiments.runner import CellError, map_cells
+from repro.obs import runtime as _obs
+from repro.obs.trace import RUN, JsonlSink, Tracer
+from repro.spec.events import TruncatedTrace, iter_jsonl_events
+
+
+def emits_then_explodes(step: int) -> int:
+    tracer = _obs.current_tracer()
+    for index in range(5):
+        tracer.emit(RUN, "step", float(index), step=step, n=index)
+    if step == 1:
+        raise RuntimeError("boom")
+    return step
+
+
+def test_failing_cell_flushes_the_trace(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    handle = open(path, "w", encoding="utf-8")
+    tracer = Tracer(JsonlSink(handle))
+    with _obs.tracing(tracer):
+        with pytest.raises(CellError):
+            map_cells(
+                emits_then_explodes, [{"step": 0}, {"step": 1}], jobs=1
+            )
+    # Deliberately NOT closing the tracer: the flush in the runner's
+    # failure path must have made the rows durable on its own.
+    with open(path, encoding="utf-8") as readable:
+        try:
+            events = list(iter_jsonl_events(readable))
+        except TruncatedTrace:
+            pytest.fail("flush left a torn row")
+    handle.close()
+    step_events = [e for e in events if e.ev == "step"]
+    # All 10 emitted rows (both cells) survive, including the 5 from
+    # the cell that raised.
+    assert len(step_events) == 10
+    assert [e.fields["step"] for e in step_events] == [0] * 5 + [1] * 5

@@ -1,0 +1,108 @@
+"""Fault-schedule validation: overlap claims and run-horizon checks.
+
+Two whole classes of silently-wrong runs are rejected up front:
+same-target faults whose active windows overlap (their save/restore
+tokens would clobber each other — e.g. a second outage capturing
+TotalLoss as the "original" loss model), and faults scheduled at or
+beyond the horizon (they would simply never trigger).
+"""
+
+import pytest
+
+from repro.faults import (
+    FaultSchedule,
+    LinkOutage,
+    LossEpisode,
+    Partition,
+    ReceiverChurn,
+    SenderCrash,
+)
+from repro.protocols import OpenLoopSession
+from repro.sstp import SstpSession
+
+
+# -- overlap rejection -----------------------------------------------------
+
+
+def test_overlapping_link_faults_are_rejected():
+    schedule = FaultSchedule([LinkOutage(at=10.0, duration=10.0)])
+    with pytest.raises(ValueError, match="overlap"):
+        schedule.add(LossEpisode(at=15.0, duration=10.0))
+
+
+def test_overlapping_partition_and_outage_are_rejected():
+    schedule = FaultSchedule([Partition([["sender"]], at=5.0, heal_at=20.0)])
+    with pytest.raises(ValueError, match="overlap"):
+        schedule.add(LinkOutage(at=19.0, duration=1.0))
+
+
+def test_overlapping_sender_crashes_are_rejected():
+    schedule = FaultSchedule([SenderCrash(at=10.0, down_for=10.0)])
+    with pytest.raises(ValueError, match="overlap"):
+        schedule.add(SenderCrash(at=12.0, down_for=1.0, cold=True))
+
+
+def test_different_claims_may_overlap():
+    # A crash (sender claim) during an outage (link claim) is a
+    # legitimate compound scenario.
+    FaultSchedule(
+        [LinkOutage(at=10.0, duration=10.0), SenderCrash(at=12.0, down_for=5.0)]
+    )
+
+
+def test_back_to_back_windows_do_not_overlap():
+    # Touching endpoints share no instant: [10, 20) then [20, 30).
+    FaultSchedule(
+        [LinkOutage(at=10.0, duration=10.0), LinkOutage(at=20.0, duration=10.0)]
+    )
+
+
+def test_churn_is_exempt_from_overlap_validation():
+    FaultSchedule(
+        [
+            LinkOutage(at=10.0, duration=10.0),
+            ReceiverChurn(rate=0.5, down_mean=5.0),
+            ReceiverChurn(rate=0.1, down_mean=1.0),
+        ]
+    )
+
+
+# -- horizon validation ----------------------------------------------------
+
+
+def test_validate_rejects_fault_at_or_beyond_horizon():
+    schedule = FaultSchedule([SenderCrash(at=100.0, down_for=5.0)])
+    with pytest.raises(ValueError, match="never"):
+        schedule.validate(horizon=100.0)
+    schedule.validate(horizon=100.5)  # strictly inside: fine
+    schedule.validate(horizon=None)  # unknown horizon: nothing to check
+
+
+def test_churn_start_beyond_horizon_is_rejected():
+    schedule = FaultSchedule([ReceiverChurn(rate=0.5, start=50.0)])
+    with pytest.raises(ValueError, match="never"):
+        schedule.validate(horizon=40.0)
+
+
+def test_session_run_rejects_out_of_horizon_fault():
+    session = OpenLoopSession(
+        data_kbps=50.0,
+        loss_rate=0.1,
+        update_rate=1.0,
+        seed=0,
+        faults=FaultSchedule([LinkOutage(at=500.0, duration=5.0)]),
+    )
+    with pytest.raises(ValueError, match="horizon"):
+        session.run(horizon=60.0)
+
+
+def test_sstp_run_rejects_out_of_horizon_fault():
+    session = SstpSession(
+        total_kbps=50.0,
+        n_receivers=1,
+        loss_rate=0.0,
+        seed=0,
+        faults=FaultSchedule([SenderCrash(at=90.0, down_for=5.0)]),
+    )
+    with pytest.raises(ValueError, match="horizon"):
+        session.run(horizon=30.0)

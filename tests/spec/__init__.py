@@ -1,0 +1,1 @@
+"""Tests for the executable specification (repro.spec)."""

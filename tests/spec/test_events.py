@@ -1,0 +1,57 @@
+"""Trace-event parsing: JSONL rows, torn tails, hard failures."""
+
+import pytest
+
+from repro.spec.events import TraceEvent, TruncatedTrace, iter_jsonl_events
+
+
+def test_parses_rows_and_splits_envelope():
+    lines = [
+        '{"t": 1.0, "cat": "packet", "ev": "packet_sent", "seq": 3}\n',
+        '{"t": null, "cat": "run", "ev": "cell_start", "index": 0}\n',
+    ]
+    events = list(iter_jsonl_events(lines))
+    assert [e.index for e in events] == [0, 1]
+    assert events[0].t == 1.0
+    assert events[0].cat == "packet"
+    assert events[0].fields == {"seq": 3}
+    assert events[1].t is None
+    assert events[1].as_row() == {
+        "t": None,
+        "cat": "run",
+        "ev": "cell_start",
+        "index": 0,
+    }
+
+
+def test_blank_lines_are_skipped():
+    lines = ['{"t": 0, "cat": "run", "ev": "x"}\n', "\n", "   \n"]
+    assert len(list(iter_jsonl_events(lines))) == 1
+
+
+def test_torn_final_line_yields_prefix_then_raises():
+    lines = [
+        '{"t": 0, "cat": "run", "ev": "a"}\n',
+        '{"t": 1, "cat": "run", "ev": "b"}\n',
+        '{"t": 2, "cat": "run", "ev"',  # killed mid-write
+    ]
+    seen = []
+    with pytest.raises(TruncatedTrace):
+        for event in iter_jsonl_events(lines):
+            seen.append(event.ev)
+    assert seen == ["a", "b"]
+
+
+def test_malformed_interior_line_is_a_hard_error():
+    lines = [
+        '{"t": 0, "cat": "run", "ev": "a"}\n',
+        "not json at all\n",
+        '{"t": 1, "cat": "run", "ev": "b"}\n',
+    ]
+    with pytest.raises(ValueError, match="malformed"):
+        list(iter_jsonl_events(lines))
+
+
+def test_row_without_envelope_is_rejected():
+    with pytest.raises(ValueError, match="missing cat/ev"):
+        list(iter_jsonl_events(['{"t": 0, "seq": 1}\n']))
