@@ -25,7 +25,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import os
 import sys
@@ -37,7 +36,7 @@ sys.path.insert(
 )
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from annotate_bench import annotate  # noqa: E402
+from annotate_bench import record  # noqa: E402
 
 from repro.cache import caching  # noqa: E402
 from repro.experiments import EXPERIMENTS, run_experiment  # noqa: E402
@@ -167,10 +166,7 @@ def main(argv: list[str] | None = None) -> int:
         "warm_identical": identical,
         "no_cache_overhead_pct": overhead_pct,
     }
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1)
-        handle.write("\n")
-    annotate(args.out)
+    record(args.out, payload)
 
     print(f"cold pass : {cold_wall:.3f} s  ({cold_misses} cells computed)")
     print(f"warm pass : {warm_wall:.3f} s  ({warm_hits} cells from store)")

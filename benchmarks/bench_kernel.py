@@ -35,7 +35,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
@@ -45,7 +44,7 @@ sys.path.insert(
 )
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from annotate_bench import annotate  # noqa: E402
+from annotate_bench import record  # noqa: E402
 
 from repro.des import Environment, RngStreams  # noqa: E402
 from repro.experiments import EXPERIMENTS, run_experiment  # noqa: E402
@@ -246,10 +245,7 @@ def main(argv: list[str] | None = None) -> int:
         "timers": timers,
         "runall": runall,
     }
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1)
-        handle.write("\n")
-    annotate(args.out)
+    record(args.out, payload)
 
     for row in fanout:
         print(

@@ -15,6 +15,10 @@ Subcommands:
   and stream the events to ``results/<id>/trace.jsonl``;
 * ``stats``      — run one experiment and print its merged metric
   registry plus run telemetry;
+* ``spans``      — fold a recorded trace into causal lifecycle spans
+  (record / packet / repair provenance; see docs/SPANS.md);
+* ``report``     — cross-run regression report over
+  ``results/*/telemetry.json`` and the ``BENCH_*.json`` history;
 * ``check``      — replay a JSONL trace (or trace an experiment first)
   through the invariant library and print the verdict
   (see docs/SPEC.md);
@@ -33,7 +37,10 @@ Examples::
     python -m repro run-all --quick --jobs 4 --cache
     python -m repro cache stats
     python -m repro trace figure3 --category packet
+    python -m repro trace figure9 --format perfetto
     python -m repro stats figure8
+    python -m repro spans figure9
+    python -m repro report --threshold 5
     python -m repro check results/figure3/trace.jsonl
     python -m repro check --experiment figure3
     python -m repro chaos --runs 20 --seed 0 --jobs 4
@@ -190,8 +197,17 @@ def _cache(args: argparse.Namespace) -> int:
 
 
 def _trace(args: argparse.Namespace) -> int:
-    from repro.experiments.registry import run_experiment
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
 
+    if args.experiment not in EXPERIMENTS:
+        # Checked before the sink opens, so a bad ID never leaves an
+        # empty results/<ID>/trace.jsonl behind.
+        print(
+            f"error: unknown experiment {args.experiment!r}; "
+            f"choose from {sorted(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 1
     out = args.out or os.path.join("results", args.experiment, "trace.jsonl")
     os.makedirs(os.path.dirname(out) or ".", exist_ok=True)
     tracer = Tracer(sink=JsonlSink(out), categories=args.category or None)
@@ -205,6 +221,9 @@ def _trace(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 jobs=1,
             )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     finally:
         tracer.close()
     write_telemetry(
@@ -228,6 +247,19 @@ def _trace(args: argparse.Namespace) -> int:
     print(f"{total} events ({wanted}) -> {out}")
     if summary:
         print(f"by category: {summary}")
+    if args.format == "perfetto":
+        from repro.obs.perfetto import report_to_trace_events
+        from repro.obs.spans import build_from_file
+
+        perfetto_out = os.path.splitext(out)[0] + ".perfetto.json"
+        document = report_to_trace_events(build_from_file(out))
+        with open(perfetto_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1)
+            handle.write("\n")
+        print(
+            f"{len(document['traceEvents'])} trace events -> {perfetto_out} "
+            "(open in ui.perfetto.dev or chrome://tracing)"
+        )
     return 0
 
 
@@ -235,9 +267,16 @@ def _stats(args: argparse.Namespace) -> int:
     from repro.experiments.common import format_table
     from repro.experiments.registry import run_experiment
 
-    result = run_experiment(
-        args.experiment, quick=not args.full, seed=args.seed, jobs=args.jobs
-    )
+    try:
+        result = run_experiment(
+            args.experiment,
+            quick=not args.full,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     payload = result.telemetry
     path = os.path.join("results", args.experiment, "telemetry.json")
     write_telemetry(path, payload)
@@ -268,6 +307,58 @@ def _stats(args: argparse.Namespace) -> int:
             rows.append(row)
     print(format_table(rows) if rows else "   (no metric series)")
     print(f"   telemetry -> {path}")
+    return 0
+
+
+def _spans(args: argparse.Namespace) -> int:
+    from repro.obs.spans import build_from_file
+
+    path = args.trace or os.path.join(
+        "results", args.experiment, "trace.jsonl"
+    )
+    if not os.path.isfile(path) or os.path.getsize(path) == 0:
+        # Missing or zero-byte (a run that died before its first
+        # event): both mean there is nothing to fold yet.
+        print(
+            f"error: no trace for experiment {args.experiment!r}: "
+            f"expected {path} "
+            f"(run `python -m repro trace {args.experiment}` first)",
+            file=sys.stderr,
+        )
+        return 1
+    report = build_from_file(path)
+    print(report.describe(limit=args.limit))
+    if args.json:
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=1)
+            handle.write("\n")
+        print(f"spans -> {args.json}")
+    return 0 if report.reconciliation()["reconciled"] else 1
+
+
+def _report(args: argparse.Namespace) -> int:
+    from repro.obs.report import build_report, render_markdown, render_text
+
+    report = build_report(
+        results_dir=args.results_dir,
+        bench_pattern=args.bench,
+        history_path=args.history,
+        threshold_pct=args.threshold,
+    )
+    rendered = (
+        render_markdown(report)
+        if args.format == "markdown"
+        else render_text(report)
+    )
+    print(rendered)
+    if args.out:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"report -> {args.out}")
+    if args.fail_on_regression and report["regressions"]:
+        return 1
     return 0
 
 
@@ -456,6 +547,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="full-scale sweeps (default: the --quick grid)",
     )
+    trace.add_argument(
+        "--format",
+        choices=["jsonl", "perfetto"],
+        default="jsonl",
+        help=(
+            "perfetto: also fold the trace into Chrome trace-event "
+            "JSON (results/<ID>/trace.perfetto.json; docs/SPANS.md)"
+        ),
+    )
     trace.add_argument("--seed", type=int, default=0)
     trace.set_defaults(func=_trace)
 
@@ -478,6 +578,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel worker processes (0 = one per CPU)",
     )
     stats.set_defaults(func=_stats)
+
+    spans = sub.add_parser(
+        "spans",
+        help="fold a recorded trace into lifecycle spans (docs/SPANS.md)",
+    )
+    spans.add_argument("experiment", metavar="ID")
+    spans.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="read this JSONL file (default results/<ID>/trace.jsonl)",
+    )
+    spans.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        metavar="N",
+        help="show the N longest spans (default 10)",
+    )
+    spans.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the full span list as JSON here",
+    )
+    spans.set_defaults(func=_spans)
+
+    report = sub.add_parser(
+        "report",
+        help="cross-run regression report (telemetry + bench history)",
+    )
+    report.add_argument(
+        "--results-dir",
+        default="results",
+        metavar="DIR",
+        help="where results/<exp>/telemetry.json live (default results)",
+    )
+    report.add_argument(
+        "--bench",
+        default="BENCH_*.json",
+        metavar="GLOB",
+        help="benchmark files to include (default BENCH_*.json)",
+    )
+    report.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="snapshot history file (default <results-dir>/report_history.json)",
+    )
+    report.add_argument(
+        "--threshold",
+        type=float,
+        default=5.0,
+        metavar="PCT",
+        help="flag deltas beyond PCT%% as regressions (default 5)",
+    )
+    report.add_argument(
+        "--format",
+        choices=["text", "markdown"],
+        default="text",
+    )
+    report.add_argument(
+        "--out", metavar="PATH", help="also write the rendered report here"
+    )
+    report.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 when any metric regresses past the threshold",
+    )
+    report.set_defaults(func=_report)
 
     check = sub.add_parser(
         "check",

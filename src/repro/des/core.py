@@ -35,6 +35,7 @@ the straightforward implementation.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter as _perf_counter
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.obs import runtime as _obs
@@ -453,6 +454,7 @@ class Environment:
         "_active_process",
         "_trace",
         "_trace_kernel",
+        "_profile",
         "_eid_noted",
     )
 
@@ -469,6 +471,9 @@ class Environment:
         #: kernel's hook sites run per event, so their disabled cost must
         #: be a single attribute load and jump, not two.
         self._trace_kernel = tracer is not None and tracer.kernel
+        #: The ambient wall-time profiler, cached like the tracer; when
+        #: None (the default), run() never reads a clock.
+        self._profile = _obs.current_profiler()
         #: Events already credited to run telemetry (see _note_events).
         self._eid_noted = 0
 
@@ -675,6 +680,17 @@ class Environment:
                 )
 
         try:
+            if self._profile is not None:
+                # Profiling on: a dedicated loop that samples callback
+                # wall time.  Scheduling order and timestamps are
+                # identical to every other loop — only clock reads and
+                # (if kernel tracing is also on) emits differ.
+                return self._run_profiled(
+                    self._profile,
+                    self._trace if self._trace_kernel else None,
+                    stop_event,
+                    stop_time,
+                )
             if self._trace_kernel:
                 # Tracing on: the dedicated loop below emits one record
                 # per popped event.  Scheduling order and timestamps are
@@ -746,6 +762,72 @@ class Environment:
             if not event._ok and not event._defused:
                 raise event._value
         return self._finish(stop_event, stop_time)
+
+    def _run_profiled(
+        self,
+        prof,
+        tr,
+        stop_event: Optional[Event],
+        stop_time: float,
+    ) -> Any:
+        """The general event loop plus sampled wall-time attribution.
+
+        Every ``prof.sample_every``-th event's callback batch is timed
+        and credited to the resumed process's generator name (or the
+        event type for bare callbacks).  The countdown is a plain
+        counter — no RNG, and no clock reads outside the sampled
+        window — so pop order, sim clock updates, and stop handling
+        stay byte-identical to the other loops.  ``tr`` is the tracer
+        when kernel tracing is also enabled, else None.
+        """
+        queue = self._queue
+        pop = _heappop
+        emit_fired = self._emit_fired
+        perf = _perf_counter
+        account = prof.account
+        sample = prof.sample_every
+        countdown = prof._countdown
+        try:
+            while queue:
+                if stop_event is not None and stop_event.callbacks is None:
+                    break
+                if queue[0][0] > stop_time:
+                    self._now = stop_time
+                    return None
+                when, _, _, event = pop(queue)
+                self._now = when
+                if tr is not None:
+                    emit_fired(tr, when, event)
+                callbacks = event.callbacks
+                event.callbacks = None
+                countdown -= 1
+                if countdown <= 0:
+                    countdown = sample
+                    start = perf()  # repro-lint: disable=RPR002
+                    for callback in callbacks:
+                        callback(event)
+                    elapsed = perf() - start  # repro-lint: disable=RPR002
+                    if callbacks:
+                        owner = getattr(callbacks[0], "__self__", None)
+                        if type(owner) is Process:
+                            key = getattr(
+                                owner._generator, "__name__", "?"
+                            )
+                        else:
+                            key = type(event).__name__
+                    else:
+                        key = type(event).__name__
+                    account(key, elapsed)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+            return self._finish(stop_event, stop_time)
+        finally:
+            # Persist the countdown so sampling continues seamlessly
+            # across the many short run() calls one cell makes.
+            prof._countdown = countdown
 
     def _finish(self, stop_event: Optional[Event], stop_time: float) -> Any:
         """Common run() epilogue once the loop exits."""

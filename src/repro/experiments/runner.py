@@ -42,6 +42,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.cache import runtime as _cache_runtime
 from repro.obs import runtime as _obs
 from repro.obs import telemetry as _telemetry
+from repro.obs.profile import Profiler, profile_enabled
 from repro.obs.telemetry import CellMeta
 from repro.obs.trace import RUN as _RUN
 
@@ -78,6 +79,10 @@ def _run_cell(
     so the parent process always owns telemetry aggregation.
     """
     sample_heap = _telemetry.tracemalloc_enabled()
+    #: REPRO_PROFILE=1 (checked per cell, so spawned workers pick it up
+    #: from their inherited environment just like REPRO_TRACEMALLOC):
+    #: a fresh profiler per cell keeps attribution jobs-invariant.
+    profiler = Profiler() if profile_enabled() else None
     tr = _obs.current_tracer()
     try:
         if sample_heap:
@@ -97,7 +102,11 @@ def _run_cell(
         # telemetry); it never feeds simulation state.
         start = time.perf_counter()  # repro-lint: disable=RPR002
         with _obs.cell_context() as ctx:
-            result = fn(**kwargs)
+            if profiler is not None:
+                with _obs.profiling(profiler):
+                    result = fn(**kwargs)
+            else:
+                result = fn(**kwargs)
         wall = time.perf_counter() - start  # repro-lint: disable=RPR002
         if tr is not None and tr.run:
             tr.emit(_RUN, "cell_end", None, index=index)
@@ -122,6 +131,7 @@ def _run_cell(
         peak_heap_bytes=peak,
         rng_streams=sorted(ctx.rng_streams),
         registry=ctx.registry.snapshot(),
+        profile=profiler.snapshot() if profiler is not None else None,
     )
     return result, meta
 

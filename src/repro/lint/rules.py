@@ -1,4 +1,4 @@
-"""The rule pack: registry plus the RPR001…RPR008 determinism rules.
+"""The rule pack: registry plus the RPR001…RPR009 determinism rules.
 
 Each rule is a class with a unique ``code``, a short ``name``, a
 ``severity``, an optional path scope (``applies``), and a ``check``
@@ -727,6 +727,89 @@ class FloatTimestampEqualityRule(Rule):
                         "with ordering or a tolerance",
                     )
                     break
+
+
+@register
+class UnguardedSpanHookRule(Rule):
+    """RPR009: span/profiler hook calls in hot paths without a guard.
+
+    The span layer (``SpanBuilder.feed``/``feed_raw``) and the wall-time
+    profiler (``Profiler.account``/``account_category``) ride the same
+    hot paths as the tracer, and the CI overhead gate budgets them the
+    same way: every call in kernel or channel code must be dominated by
+    a precomputed flag check (``if self._profile is not None:``, a
+    hoisted ``span``/``prof`` local test) so a run without observers
+    pays one load and one jump.  As with RPR005, a builder/profiler
+    received as a function parameter counts as guarded — the caller
+    hoisted the check (``Environment._run_profiled``).
+    """
+
+    code = "RPR009"
+    name = "unguarded-span-hook"
+    severity = "error"
+    path_scope = ("repro/des/", "repro/net/")
+
+    _HOOKS = {"feed", "feed_raw", "account", "account_category"}
+    _GUARD_TOKENS = ("trace", "prof", "span")
+
+    def _receiver_token(self, func: ast.Attribute) -> Optional[str]:
+        value = func.value
+        if isinstance(value, ast.Name):
+            return value.id
+        if isinstance(value, ast.Attribute):
+            return value.attr
+        return None
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._HOOKS
+            ):
+                continue
+            token = self._receiver_token(func)
+            guarded = False
+            for ancestor in ctx.ancestors(node):
+                if isinstance(
+                    ancestor,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+                ):
+                    args = getattr(ancestor, "args", None)
+                    if args is not None and token is not None:
+                        params = {
+                            a.arg
+                            for a in (
+                                args.posonlyargs + args.args + args.kwonlyargs
+                            )
+                        }
+                        if token in params:
+                            guarded = True
+                    break
+                if not isinstance(ancestor, (ast.If, ast.IfExp)):
+                    continue
+                idents = _identifiers(ancestor.test)
+                if token is not None and token in idents:
+                    guarded = True
+                    break
+                if any(
+                    guard in ident
+                    for ident in idents
+                    for guard in self._GUARD_TOKENS
+                ):
+                    guarded = True
+                    break
+            if not guarded:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"span/profiler hook '.{func.attr}(...)' not dominated "
+                    "by a precomputed observer check (e.g. 'if "
+                    "self._profile is not None:'); hot-path hooks must "
+                    "cost one load + one jump when observability is off",
+                )
 
 
 _METRIC_NAME = re.compile(r"^repro_[a-z][a-z0-9_]*$")

@@ -124,6 +124,7 @@ class Channel:
                 "packet_enqueued",
                 self.env.now,
                 kind=packet.kind,
+                key=packet.key,
                 seq=packet.seq,
                 size_bits=packet.size_bits,
                 backlog=len(self._queue),
@@ -172,6 +173,7 @@ class Channel:
                     "packet_sent",
                     self.env.now,
                     kind=packet.kind,
+                    key=packet.key,
                     seq=packet.seq,
                     size_bits=packet.size_bits,
                     lost=lost,
@@ -190,6 +192,7 @@ class Channel:
                         "packet_lost",
                         self.env.now,
                         kind=packet.kind,
+                        key=packet.key,
                         seq=packet.seq,
                         chan=self.chan,
                     )
@@ -243,6 +246,7 @@ class Channel:
                 "packet_delivered",
                 self.env.now,
                 kind=packet.kind,
+                key=packet.key,
                 seq=packet.seq,
                 chan=self.chan,
             )
@@ -425,6 +429,7 @@ class MulticastChannel:
                 "packet_enqueued",
                 self.env.now,
                 kind=packet.kind,
+                key=packet.key,
                 seq=packet.seq,
                 size_bits=packet.size_bits,
                 backlog=len(self._queue),
@@ -523,6 +528,7 @@ class MulticastChannel:
                     "packet_sent",
                     self.env.now,
                     kind=packet.kind,
+                    key=packet.key,
                     seq=packet.seq,
                     size_bits=packet.size_bits,
                     receivers=len(outcomes),
@@ -556,6 +562,7 @@ class MulticastChannel:
                     "packet_delivered",
                     self.env.now,
                     kind=packet.kind,
+                    key=packet.key,
                     seq=packet.seq,
                     receiver=receiver_id,
                     chan=self.chan,
@@ -587,13 +594,13 @@ class MulticastChannel:
         now = self.env._now
         fast_copy = packet._copy_fast
         kind = packet.kind
+        key = packet.key
         seq = packet.seq
         if registry.uniform_bernoulli:
             # Homogeneous fast loop: every row draws `rand() < rate`.
             # The per-receiver clone (see Packet._copy_fast) is inlined
             # here — at tens of thousands of survivors per burst even
             # the method-call frame is measurable.
-            key = packet.key
             payload = packet.payload
             created_at = packet.created_at
             size_bits = packet.size_bits
@@ -634,6 +641,7 @@ class MulticastChannel:
                         "packet_delivered",
                         now,
                         kind=kind,
+                        key=key,
                         seq=seq,
                         receiver=receiver_id,
                         chan=self.chan,

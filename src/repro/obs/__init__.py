@@ -26,12 +26,17 @@ naming conventions, and how to add a new trace hook.
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, Registry
+from repro.obs.profile import Profiler, ProfilingSink, profile_enabled
 from repro.obs.runtime import (
     cell_context,
+    current_profiler,
     current_tracer,
+    install_profiler,
     install_tracer,
+    profiling,
     registry,
     tracing,
+    uninstall_profiler,
     uninstall_tracer,
 )
 from repro.obs.telemetry import (
@@ -55,6 +60,19 @@ from repro.obs.trace import (
     record_as_dict,
 )
 
+# Imported last: spans pulls in repro.spec (event iteration), whose
+# checker imports back into repro.obs — by this point the submodules it
+# needs (runtime, trace) are already bound on the package.
+from repro.obs.spans import (  # noqa: E402
+    Span,
+    SpanBuilder,
+    SpanReport,
+    SpanSink,
+    build_from_events,
+    build_from_file,
+    build_from_records,
+)
+
 __all__ = [
     "CATEGORIES",
     "CellMeta",
@@ -65,21 +83,35 @@ __all__ = [
     "JsonlSink",
     "KERNEL",
     "PACKET",
+    "Profiler",
+    "ProfilingSink",
     "RECORD",
     "RUN",
     "Registry",
     "RingBufferSink",
     "RunTelemetry",
     "SPEC",
+    "Span",
+    "SpanBuilder",
+    "SpanReport",
+    "SpanSink",
     "Tracer",
     "WARNING",
+    "build_from_events",
+    "build_from_file",
+    "build_from_records",
     "cell_context",
+    "current_profiler",
     "current_tracer",
     "host_metadata",
+    "install_profiler",
     "install_tracer",
+    "profile_enabled",
+    "profiling",
     "record_as_dict",
     "registry",
     "tracing",
+    "uninstall_profiler",
     "uninstall_tracer",
     "write_telemetry",
 ]

@@ -1,0 +1,123 @@
+"""Chrome trace-event JSON export for span reports.
+
+Converts a :class:`repro.obs.spans.SpanReport` into the Trace Event
+Format that Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``
+both open: a ``{"traceEvents": [...]}`` document of complete events
+(``ph: "X"``), instant events (``ph: "i"``) and counter events
+(``ph: "C"``), with one *process* per runner cell and one *thread*
+(track) per table / channel / repair lane.
+
+Timestamps: trace-event ``ts``/``dur`` are microseconds; simulation
+time is seconds, so everything is scaled by 1e6.  The export is
+deterministic — events are ordered by span id / instant order, and no
+wall-clock or RNG state is consulted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.spans import SpanReport
+
+_US = 1_000_000.0
+
+
+def _track_for(kind: str, label: str) -> str:
+    return label if label else kind
+
+
+def report_to_trace_events(report: SpanReport) -> Dict[str, Any]:
+    """Build the trace-event document for one span report."""
+    events: List[Dict[str, Any]] = []
+    tids: Dict[Tuple[int, str], int] = {}
+    cells_seen: set = set()
+
+    def tid_for(cell: int, track: str) -> int:
+        key = (cell, track)
+        tid = tids.get(key)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[key] = tid
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": cell,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        if cell not in cells_seen:
+            cells_seen.add(cell)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": cell,
+                    "tid": 0,
+                    "args": {"name": f"cell {cell}"},
+                }
+            )
+        return tid
+
+    for span in report.spans:
+        end = span.end if span.end is not None else span.start
+        args: Dict[str, Any] = {
+            "status": span.status,
+            "key": repr(span.key),
+        }
+        if span.truncated:
+            args["truncated"] = True
+        if span.parent_id is not None:
+            args["parent_span"] = span.parent_id
+        for name, value in span.fields.items():
+            if isinstance(value, (bool, int, float, str)) or value is None:
+                args[name] = value
+            else:
+                args[name] = repr(value)
+        events.append(
+            {
+                "ph": "X",
+                "name": f"{span.kind} {span.key!r}",
+                "cat": span.kind,
+                "ts": span.start * _US,
+                "dur": max(0.0, end - span.start) * _US,
+                "pid": span.cell,
+                "tid": tid_for(span.cell, _track_for(span.kind, span.label)),
+                "args": args,
+            }
+        )
+    for cell, t, ev, fields in report.instants:
+        if ev == "consistency_sample" and "value" in fields:
+            session = fields.get("session", "session")
+            events.append(
+                {
+                    "ph": "C",
+                    "name": f"consistency {session}",
+                    "cat": "run",
+                    "ts": t * _US,
+                    "pid": cell,
+                    "tid": tid_for(cell, "consistency"),
+                    "args": {"value": fields["value"]},
+                }
+            )
+            continue
+        args = {
+            name: value
+            if isinstance(value, (bool, int, float, str)) or value is None
+            else repr(value)
+            for name, value in fields.items()
+        }
+        events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "name": ev,
+                "cat": "instant",
+                "ts": t * _US,
+                "pid": cell,
+                "tid": tid_for(cell, "events"),
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

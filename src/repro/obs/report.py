@@ -1,0 +1,329 @@
+"""Cross-run regression reports over telemetry + benchmark history.
+
+``repro report`` gives ``make bench-*`` and the per-run
+``results/*/telemetry.json`` files a consumer: it snapshots the current
+performance surface, diffs it against the previous snapshot, and
+renders the deltas with a configurable regression threshold.
+
+Inputs:
+
+* ``results/<exp>/telemetry.json`` — one per experiment run
+  (``repro run-all``/``trace``/``stats`` all write them);
+* ``BENCH_*.json`` — benchmark emissions carrying the bounded
+  ``history`` list that ``benchmarks/annotate_bench.py`` maintains
+  (schema v2); the last two history entries diff against each other.
+
+State: the report keeps its own bounded history of telemetry
+snapshots (``results/report_history.json`` by default), appended on
+every invocation, so "vs the previous run" is well-defined even though
+telemetry files are overwritten in place.
+
+Direction heuristics: wall-clock metrics (``*wall_s*``, ``*seconds*``)
+regress upward; throughput metrics (``*per_sec*``, ``*speedup*``,
+``*ops*``) regress downward; anything else is reported as *changed*
+but never counted as a regression.  No timestamps are recorded —
+history entries are content-only, so reports stay byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+REPORT_HISTORY_SCHEMA_VERSION = 1
+
+#: Bounded history length, matching benchmarks/annotate_bench.py.
+HISTORY_LIMIT = 20
+
+_LOWER_BETTER = ("wall_s", "seconds", "_s.", "mean", "stddev", "median")
+_HIGHER_BETTER = ("per_sec", "speedup", "ops", "rounds")
+
+
+def metric_direction(path: str) -> int:
+    """-1 when lower is better, +1 when higher is better, 0 neutral."""
+    lowered = path.lower()
+    for token in _HIGHER_BETTER:
+        if token in lowered:
+            return 1
+    for token in _LOWER_BETTER:
+        if token in lowered or lowered.endswith("_s"):
+            return -1
+    return 0
+
+
+# -- collection ------------------------------------------------------------
+
+
+def collect_telemetry(results_dir: str) -> Dict[str, Dict[str, float]]:
+    """One metric row set per ``results/<exp>/telemetry.json``."""
+    snapshot: Dict[str, Dict[str, float]] = {}
+    pattern = os.path.join(results_dir, "*", "telemetry.json")
+    for path in sorted(glob.glob(pattern)):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        run = payload.get("run", {})
+        experiment = payload.get("experiment") or os.path.basename(
+            os.path.dirname(path)
+        )
+        metrics = {
+            "wall_s": run.get("wall_s"),
+            "events": run.get("events"),
+            "events_per_sec": run.get("events_per_sec"),
+            "cells": run.get("cells"),
+        }
+        snapshot[experiment] = {
+            key: float(value)
+            for key, value in metrics.items()
+            if isinstance(value, (int, float))
+        }
+    return snapshot
+
+
+def _flatten(payload: Any, prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves as dotted paths, skipping metadata subtrees."""
+    out: Dict[str, float] = {}
+    skip = {"host", "history", "machine_info", "commit_info", "bench_schema_version"}
+    if isinstance(payload, dict):
+        if "benchmarks" in payload and isinstance(
+            payload["benchmarks"], list
+        ):
+            # pytest-benchmark shape: one row per benchmark, keep the
+            # stable stats rather than the full distribution dump.
+            for bench in payload["benchmarks"]:
+                name = bench.get("name", "?")
+                stats = bench.get("stats", {})
+                for stat in ("mean", "ops"):
+                    value = stats.get(stat)
+                    if isinstance(value, (int, float)):
+                        out[f"{name}.{stat}"] = float(value)
+            return out
+        for key, value in payload.items():
+            if key in skip:
+                continue
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                out[path] = float(value)
+            elif isinstance(value, (dict, list)):
+                out.update(_flatten(value, path))
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            path = f"{prefix}[{index}]"
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                out[path] = float(value)
+            elif isinstance(value, (dict, list)):
+                out.update(_flatten(value, path))
+    return out
+
+
+def collect_bench(
+    pattern: str = "BENCH_*.json",
+) -> Dict[str, Tuple[Dict[str, float], Optional[Dict[str, float]]]]:
+    """Latest and previous flattened metrics per benchmark file.
+
+    Reads the bounded ``history`` list annotate_bench maintains; files
+    without one (pre-v2) contribute a current snapshot but no deltas.
+    """
+    out: Dict[str, Tuple[Dict[str, float], Optional[Dict[str, float]]]] = {}
+    for path in sorted(glob.glob(pattern)):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        history = payload.get("history")
+        if isinstance(history, list) and history:
+            current = _flatten(history[-1].get("payload", {}))
+            previous = (
+                _flatten(history[-2].get("payload", {}))
+                if len(history) > 1
+                else None
+            )
+        else:
+            current = _flatten(payload)
+            previous = None
+        out[os.path.basename(path)] = (current, previous)
+    return out
+
+
+# -- report history --------------------------------------------------------
+
+
+def load_history(path: str) -> List[Dict[str, Any]]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError):
+        return []
+    entries = doc.get("entries")
+    return entries if isinstance(entries, list) else []
+
+
+def append_history(
+    path: str, entries: List[Dict[str, Any]], snapshot: Dict[str, Any]
+) -> List[Dict[str, Any]]:
+    """Append ``snapshot`` (unless identical to the tail) and rewrite."""
+    if not entries or entries[-1] != snapshot:
+        entries = entries + [snapshot]
+    entries = entries[-HISTORY_LIMIT:]
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "schema_version": REPORT_HISTORY_SCHEMA_VERSION,
+                "entries": entries,
+            },
+            handle,
+            indent=1,
+        )
+        handle.write("\n")
+    return entries
+
+
+# -- deltas ----------------------------------------------------------------
+
+
+def _diff_rows(
+    source: str,
+    current: Dict[str, float],
+    previous: Optional[Dict[str, float]],
+    threshold_pct: float,
+) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    if previous is None:
+        return rows
+    for metric in sorted(current):
+        if metric not in previous:
+            continue
+        now, then = current[metric], previous[metric]
+        if then == 0:
+            continue
+        delta_pct = 100.0 * (now - then) / abs(then)
+        direction = metric_direction(metric)
+        regression = False
+        if direction < 0:
+            regression = delta_pct > threshold_pct
+        elif direction > 0:
+            regression = delta_pct < -threshold_pct
+        flag = "regression" if regression else (
+            "improved"
+            if direction != 0 and abs(delta_pct) > threshold_pct
+            else ("changed" if abs(delta_pct) > threshold_pct else "ok")
+        )
+        rows.append(
+            {
+                "source": source,
+                "metric": metric,
+                "previous": then,
+                "current": now,
+                "delta_pct": delta_pct,
+                "flag": flag,
+            }
+        )
+    return rows
+
+
+def build_report(
+    results_dir: str = "results",
+    bench_pattern: str = "BENCH_*.json",
+    history_path: Optional[str] = None,
+    threshold_pct: float = 5.0,
+) -> Dict[str, Any]:
+    """Collect, diff against the previous snapshot, update history."""
+    if history_path is None:
+        history_path = os.path.join(results_dir, "report_history.json")
+    telemetry = collect_telemetry(results_dir)
+    entries = load_history(history_path)
+    previous_snapshot = entries[-1] if entries else None
+    rows: List[Dict[str, Any]] = []
+    for experiment, metrics in sorted(telemetry.items()):
+        previous = (
+            previous_snapshot.get(experiment)
+            if previous_snapshot is not None
+            else None
+        )
+        rows.extend(
+            _diff_rows(experiment, metrics, previous, threshold_pct)
+        )
+    bench = collect_bench(bench_pattern)
+    for name, (current, previous) in sorted(bench.items()):
+        rows.extend(_diff_rows(name, current, previous, threshold_pct))
+    append_history(history_path, entries, telemetry)
+    return {
+        "threshold_pct": threshold_pct,
+        "experiments": sorted(telemetry),
+        "bench_files": sorted(bench),
+        "deltas": rows,
+        "regressions": [r for r in rows if r["flag"] == "regression"],
+        "had_previous": previous_snapshot is not None
+        or any(prev is not None for _, prev in bench.values()),
+    }
+
+
+# -- rendering -------------------------------------------------------------
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_text(report: Dict[str, Any]) -> str:
+    lines = [
+        f"regression report (threshold {report['threshold_pct']:g}%)",
+        f"experiments: {', '.join(report['experiments']) or '-'}",
+        f"bench files: {', '.join(report['bench_files']) or '-'}",
+    ]
+    rows = report["deltas"]
+    if not rows:
+        lines.append(
+            "no deltas: no previous snapshot to compare against "
+            "(re-run after the next `repro run-all` / `make bench-*`)"
+        )
+        return "\n".join(lines)
+    width = max(len(r["metric"]) for r in rows)
+    source_w = max(len(r["source"]) for r in rows)
+    for row in rows:
+        lines.append(
+            f"  {row['source']:<{source_w}}  {row['metric']:<{width}}  "
+            f"{_format_value(row['previous']):>12} -> "
+            f"{_format_value(row['current']):>12}  "
+            f"{row['delta_pct']:+7.2f}%  {row['flag']}"
+        )
+    regressions = report["regressions"]
+    lines.append(
+        f"{len(rows)} deltas, {len(regressions)} regression(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_markdown(report: Dict[str, Any]) -> str:
+    lines = [
+        f"# Regression report",
+        "",
+        f"Threshold: {report['threshold_pct']:g}% — "
+        f"{len(report['deltas'])} deltas, "
+        f"{len(report['regressions'])} regression(s).",
+        "",
+        "| Source | Metric | Previous | Current | Δ% | Flag |",
+        "|---|---|---:|---:|---:|---|",
+    ]
+    for row in report["deltas"]:
+        lines.append(
+            f"| {row['source']} | `{row['metric']}` | "
+            f"{_format_value(row['previous'])} | "
+            f"{_format_value(row['current'])} | "
+            f"{row['delta_pct']:+.2f} | {row['flag']} |"
+        )
+    if not report["deltas"]:
+        lines.append("| - | _no previous snapshot_ | | | | |")
+    return "\n".join(lines)

@@ -38,7 +38,9 @@ __all__ = [
     "CellContext",
     "cell_context",
     "current_cell",
+    "current_profiler",
     "current_tracer",
+    "install_profiler",
     "install_tracer",
     "next_session_label",
     "next_trace_label",
@@ -46,8 +48,10 @@ __all__ = [
     "note_rng_stream",
     "pop_registry",
     "push_registry",
+    "profiling",
     "registry",
     "tracing",
+    "uninstall_profiler",
     "uninstall_tracer",
 ]
 
@@ -86,6 +90,43 @@ def tracing(tracer) -> Iterator:
         yield tracer
     finally:
         install_tracer(previous)
+
+
+# -- profiler --------------------------------------------------------------
+#
+# Same contract as the tracer slot: an Environment caches the ambient
+# profiler at construction and pays one slot load + jump per run() when
+# none is installed.  The Profiler class itself lives in
+# repro.obs.profile; this slot holds any object with the hook methods.
+
+_profiler = None
+
+
+def install_profiler(profiler) -> None:
+    """Make ``profiler`` ambient for every Environment created next."""
+    global _profiler
+    _profiler = profiler
+
+
+def uninstall_profiler() -> None:
+    global _profiler
+    _profiler = None
+
+
+def current_profiler():
+    """The installed profiler, or ``None`` (the zero-cost default)."""
+    return _profiler
+
+
+@contextlib.contextmanager
+def profiling(profiler) -> Iterator:
+    """Install ``profiler`` for the duration of a ``with`` block."""
+    previous = _profiler
+    install_profiler(profiler)
+    try:
+        yield profiler
+    finally:
+        install_profiler(previous)
 
 
 # -- registry stack --------------------------------------------------------

@@ -8,7 +8,8 @@ schemas use:
 
 ``type`` (string or list), ``properties``, ``required``,
 ``additionalProperties`` (bool or schema), ``items``, ``enum``,
-``const``, ``minimum``, ``maximum``, ``minItems``, ``anyOf``.
+``const``, ``minimum``, ``maximum``, ``minItems``, ``anyOf``, and
+document-local ``$ref`` (``#/definitions/...`` pointers only).
 
 Usage as a module::
 
@@ -23,7 +24,7 @@ from __future__ import annotations
 
 import json
 import sys
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 __all__ = ["SchemaError", "validate", "validate_file"]
 
@@ -55,8 +56,33 @@ def _type_ok(value: Any, name: str) -> bool:
     return value is None
 
 
-def validate(instance: Any, schema: Dict[str, Any], path: str = "$") -> None:
+def _resolve_ref(ref: str, root: Dict[str, Any], path: str) -> Dict[str, Any]:
+    if not ref.startswith("#/"):
+        raise SchemaError(f"{path}: only document-local $ref supported, got {ref!r}")
+    node: Any = root
+    for part in ref[2:].split("/"):
+        part = part.replace("~1", "/").replace("~0", "~")
+        if not isinstance(node, dict) or part not in node:
+            raise SchemaError(f"{path}: unresolvable $ref {ref!r}")
+        node = node[part]
+    if not isinstance(node, dict):
+        raise SchemaError(f"{path}: $ref {ref!r} does not point at a schema")
+    return node
+
+
+def validate(
+    instance: Any,
+    schema: Dict[str, Any],
+    path: str = "$",
+    root: Optional[Dict[str, Any]] = None,
+) -> None:
     """Raise :class:`SchemaError` if ``instance`` violates ``schema``."""
+    if root is None:
+        root = schema
+    if "$ref" in schema:
+        # Draft-07: $ref replaces any sibling keywords.
+        validate(instance, _resolve_ref(schema["$ref"], root, path), path, root)
+        return
     if "const" in schema and instance != schema["const"]:
         raise SchemaError(
             f"{path}: expected const {schema['const']!r}, got {instance!r}"
@@ -78,7 +104,7 @@ def validate(instance: Any, schema: Dict[str, Any], path: str = "$") -> None:
         errors: List[str] = []
         for i, option in enumerate(schema["anyOf"]):
             try:
-                validate(instance, option, f"{path}<anyOf:{i}>")
+                validate(instance, option, f"{path}<anyOf:{i}>", root)
                 break
             except SchemaError as exc:
                 errors.append(str(exc))
@@ -102,13 +128,13 @@ def validate(instance: Any, schema: Dict[str, Any], path: str = "$") -> None:
         properties = schema.get("properties", {})
         for name, value in instance.items():
             if name in properties:
-                validate(value, properties[name], f"{path}.{name}")
+                validate(value, properties[name], f"{path}.{name}", root)
             else:
                 extra = schema.get("additionalProperties", True)
                 if extra is False:
                     raise SchemaError(f"{path}: unexpected key {name!r}")
                 if isinstance(extra, dict):
-                    validate(value, extra, f"{path}.{name}")
+                    validate(value, extra, f"{path}.{name}", root)
     if isinstance(instance, list):
         if "minItems" in schema and len(instance) < schema["minItems"]:
             raise SchemaError(
@@ -118,7 +144,7 @@ def validate(instance: Any, schema: Dict[str, Any], path: str = "$") -> None:
         items = schema.get("items")
         if isinstance(items, dict):
             for i, value in enumerate(instance):
-                validate(value, items, f"{path}[{i}]")
+                validate(value, items, f"{path}[{i}]", root)
 
 
 def validate_file(data_path: str, schema_path: str) -> int:

@@ -68,13 +68,16 @@ class CellMeta:
     #: rng_streams / registry fields are then replayed from the entry
     #: recorded at compute time; wall_s is the lookup cost, ~0).
     cached: bool = False
+    #: Wall-time attribution snapshot (repro.obs.profile) — present
+    #: only when the run opted in via REPRO_PROFILE=1.
+    profile: Optional[Dict[str, Any]] = None
 
     @property
     def events_per_sec(self) -> float:
         return self.events / self.wall_s if self.wall_s > 0 else 0.0
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "index": self.index,
             "wall_s": self.wall_s,
             "events": self.events,
@@ -83,6 +86,9 @@ class CellMeta:
             "rng_streams": self.rng_streams,
             "cached": self.cached,
         }
+        if self.profile is not None:
+            payload["profile"] = self.profile
+        return payload
 
 
 class RunTelemetry:
@@ -126,8 +132,25 @@ class RunTelemetry:
     def events(self) -> int:
         return sum(meta.events for meta in self.cells)
 
+    def merged_profile(self) -> Optional[Dict[str, Any]]:
+        """Per-cell profile snapshots folded together, in cell order.
+
+        ``None`` unless at least one cell carried a profile block
+        (REPRO_PROFILE=1).  Raw sampled figures sum across cells.
+        """
+        from repro.obs.profile import Profiler
+
+        merged: Optional[Dict[str, Any]] = None
+        for meta in self.cells:
+            if meta.profile is not None:
+                merged = Profiler.merge(merged, meta.profile)
+        if merged is not None:
+            merged["enabled"] = True
+        return merged
+
     def as_dict(self) -> Dict[str, Any]:
         events = self.events
+        profile = self.merged_profile()
         return {
             "schema_version": TELEMETRY_SCHEMA_VERSION,
             "experiment": self.experiment_id,
@@ -150,6 +173,7 @@ class RunTelemetry:
             },
             "cells": [meta.as_dict() for meta in self.cells],
             "registry": self.merged_registry().snapshot(),
+            **({"profile": profile} if profile is not None else {}),
         }
 
 

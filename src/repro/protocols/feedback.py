@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.net import BernoulliLoss, Channel, LossModel, Packet
+from repro.obs.trace import RECORD as _RECORD
 from repro.protocols.states import RecordState
 from repro.protocols.two_queue import COLD, HOT, TwoQueueSession
 
@@ -121,6 +122,8 @@ class FeedbackSession(TwoQueueSession):
         now = self.env.now
         for seq in seqs:
             self._nack_times[seq] = now
+        tr = self._trace
+        trace_records = tr is not None and tr.record
         for start in range(0, len(seqs), self.seqs_per_nack):
             batch = tuple(seqs[start : start + self.seqs_per_nack])
             nack = Packet(
@@ -130,6 +133,16 @@ class FeedbackSession(TwoQueueSession):
             )
             self.nacks_sent += 1
             self.ledger.add("feedback", nack.size_bits)
+            if trace_records:
+                # Span-opening marker: one repair chain per missing seq
+                # (docs/SPANS.md); retries re-emit and deepen the chain.
+                tr.emit(
+                    _RECORD,
+                    "repair_requested",
+                    now,
+                    seqs=batch,
+                    session=self._session_label,
+                )
             self.feedback_channel.send(nack)
 
     #: Most re-requests sent per retry sweep.  Bounds the work done when
@@ -195,6 +208,19 @@ class FeedbackSession(TwoQueueSession):
     def _make_packet(self, key: Any, repairs: Tuple[int, ...] = ()) -> Packet:
         if not repairs:
             repairs = tuple(sorted(self._pending_repairs.pop(key, ())))
+        if repairs:
+            tr = self._trace
+            if tr is not None and tr.record:
+                # Span-closing marker: the sender commits these seqs to
+                # the announce it is about to queue (docs/SPANS.md).
+                tr.emit(
+                    _RECORD,
+                    "repair_sent",
+                    self.env.now,
+                    key=key,
+                    seqs=repairs,
+                    session=self._session_label,
+                )
         return super()._make_packet(key, repairs)
 
     def _drop_from_queues(self, key: Any) -> None:

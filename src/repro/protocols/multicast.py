@@ -40,7 +40,7 @@ from repro.core import (
 from repro.des import Environment, Interrupt, RngStreams, SimulationError
 from repro.faults import FaultInjector, sender_side
 from repro.obs import runtime as _obs
-from repro.obs.trace import RUN as _RUN
+from repro.obs.trace import RECORD as _RECORD, RUN as _RUN
 from repro.net import BernoulliLoss, CombinedLoss, MulticastChannel, Packet, TotalLoss
 from repro.protocols.states import RecordState, RecordStateMachine
 from repro.protocols.two_queue import COLD, HOT, make_scheduler
@@ -229,6 +229,17 @@ class _GroupReceiver:
         self.nacks_sent += 1
         self.session.nacks_sent += 1
         self.session.ledger.add("feedback", NACK_BITS)
+        tr = self.session._trace
+        if tr is not None and tr.record:
+            # Span-opening marker (docs/SPANS.md): backoff retries
+            # re-emit for the same seq and deepen the repair chain.
+            tr.emit(
+                _RECORD,
+                "repair_requested",
+                self.env.now,
+                seq=seq,
+                receiver=self.receiver_id,
+            )
         self.session.feedback_channel.send(
             Packet(
                 kind="nack",
@@ -569,6 +580,18 @@ class MulticastFeedbackSession:
                     self._seq += 1
                     self._seq_to_key[seq] = (key, record.version)
                     repairs = tuple(sorted(self._pending_repairs.pop(key, ())))
+                    if repairs:
+                        tr = self._trace
+                        if tr is not None and tr.record:
+                            # Span-closing marker: these seqs ride the
+                            # announce queued below (docs/SPANS.md).
+                            tr.emit(
+                                _RECORD,
+                                "repair_sent",
+                                self.env.now,
+                                key=key,
+                                seqs=repairs,
+                            )
                     packet = Packet(
                         kind="announce",
                         key=key,

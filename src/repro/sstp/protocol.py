@@ -225,6 +225,17 @@ class SstpReceiver:
         self.queries_sent += 1
         if not descend:
             self.repairs_requested += 1
+            tr = self._trace
+            if tr is not None and tr.record:
+                # Span-opening marker: one repair chain per namespace
+                # path (docs/SPANS.md); re-queries deepen it.
+                tr.emit(
+                    _RECORD,
+                    "repair_requested",
+                    self.env.now,
+                    path=path,
+                    receiver=self.receiver_id,
+                )
         self.feedback.send(
             Packet(
                 kind="query",
@@ -380,6 +391,16 @@ class SstpSender:
                 self._enqueue(HOT, ("digests", payload["path"]))
             else:
                 self.repair_requests += 1
+                tr = self._trace
+                if tr is not None and tr.record:
+                    # Span-closing marker: the ADU re-send for this
+                    # path is committed to the hot queue (docs/SPANS.md).
+                    tr.emit(
+                        _RECORD,
+                        "repair_sent",
+                        self.env.now,
+                        path=payload["path"],
+                    )
                 self._enqueue(HOT, ("adu", payload["path"]))
             self._wake()
         elif packet.kind == "report":

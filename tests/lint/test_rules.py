@@ -608,6 +608,82 @@ def test_rpr008_suppressed_inline():
     assert found == []
 
 
+# -- RPR009: unguarded span/profiler hooks --------------------------------
+
+
+def test_rpr009_fires_on_unguarded_hook_in_hot_path():
+    found = findings_for(
+        "RPR009",
+        """
+        class Channel:
+            def pump(self):
+                self._spans.feed_raw(0.0, "packet", "packet_sent", {})
+                self._profile.account("pump", 0.001)
+        """,
+        path=HOT_PATH,
+    )
+    assert [f.code for f in found] == ["RPR009", "RPR009"]
+
+
+def test_rpr009_quiet_when_guarded_by_precomputed_check():
+    found = findings_for(
+        "RPR009",
+        """
+        class Env:
+            def step(self):
+                if self._profile is not None:
+                    self._profile.account("step", 0.001)
+                builder = self._spans
+                if builder is not None:
+                    builder.feed_raw(0.0, "kernel", "timer_fired", {})
+        """,
+        path=HOT_PATH,
+    )
+    assert found == []
+
+
+def test_rpr009_quiet_when_hook_target_is_parameter():
+    # Injected-observer contract: the caller holds the guard
+    # (Environment._run_profiled receives ``prof`` pre-checked).
+    found = findings_for(
+        "RPR009",
+        """
+        class Env:
+            def _run_profiled(self, prof, when):
+                prof.account("run", 0.001)
+        """,
+        path=HOT_PATH,
+    )
+    assert found == []
+
+
+def test_rpr009_out_of_scope_path_is_quiet():
+    found = findings_for(
+        "RPR009",
+        """
+        class SpanSink:
+            def write(self, record):
+                self._feed(record)
+                self.builder.feed_raw(0.0, "run", "cell_start", {})
+        """,
+        path="src/repro/obs/spans_fake.py",
+    )
+    assert found == []
+
+
+def test_rpr009_suppressed_inline():
+    found = findings_for(
+        "RPR009",
+        """
+        class Channel:
+            def pump(self):
+                self._spans.feed_raw(0.0, "packet", "packet_sent", {})  # repro-lint: disable=RPR009
+        """,
+        path=HOT_PATH,
+    )
+    assert found == []
+
+
 # -- cross-cutting ---------------------------------------------------------
 
 

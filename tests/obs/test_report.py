@@ -1,0 +1,174 @@
+"""Cross-run regression reports and the bench history envelope."""
+
+import json
+import os
+import sys
+
+from repro.obs.report import (
+    HISTORY_LIMIT,
+    append_history,
+    build_report,
+    collect_bench,
+    load_history,
+    metric_direction,
+    render_markdown,
+    render_text,
+)
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..",
+                 "benchmarks"),
+)
+
+from annotate_bench import record as bench_record  # noqa: E402
+
+
+def _write_telemetry(results_dir, experiment, wall_s, events):
+    path = results_dir / experiment / "telemetry.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(
+            {
+                "experiment": experiment,
+                "run": {
+                    "wall_s": wall_s,
+                    "events": events,
+                    "events_per_sec": events / wall_s,
+                    "cells": 2,
+                },
+            }
+        ),
+        encoding="utf-8",
+    )
+
+
+def test_metric_direction_heuristics():
+    assert metric_direction("run.wall_s") == -1
+    assert metric_direction("fanout[0].scalar_s") == -1
+    assert metric_direction("stats.mean") == -1
+    assert metric_direction("run.events_per_sec") == 1
+    assert metric_direction("fanout[0].speedup") == 1
+    assert metric_direction("run.events") == 0
+
+
+def test_first_report_has_no_deltas(tmp_path):
+    _write_telemetry(tmp_path / "results", "figA", 1.0, 1000)
+    report = build_report(
+        results_dir=str(tmp_path / "results"),
+        bench_pattern=str(tmp_path / "BENCH_*.json"),
+    )
+    assert report["experiments"] == ["figA"]
+    assert report["deltas"] == []
+    assert not report["had_previous"]
+    assert "no previous snapshot" in render_text(report)
+
+
+def test_second_report_diffs_and_flags_regressions(tmp_path):
+    results = tmp_path / "results"
+    _write_telemetry(results, "figA", 1.0, 1000)
+    build_report(
+        results_dir=str(results),
+        bench_pattern=str(tmp_path / "BENCH_*.json"),
+    )
+    # Second run: 50% slower wall clock, throughput halved.
+    _write_telemetry(results, "figA", 1.5, 1000)
+    report = build_report(
+        results_dir=str(results),
+        bench_pattern=str(tmp_path / "BENCH_*.json"),
+        threshold_pct=5.0,
+    )
+    assert report["had_previous"]
+    rows = {row["metric"]: row for row in report["deltas"]}
+    assert rows["wall_s"]["flag"] == "regression"
+    assert rows["events_per_sec"]["flag"] == "regression"
+    assert rows["events"]["flag"] == "ok"
+    assert report["regressions"]
+    text = render_text(report)
+    assert "regression" in text
+    md = render_markdown(report)
+    assert "| figA |" in md and "`wall_s`" in md
+
+
+def test_improvements_are_not_regressions(tmp_path):
+    results = tmp_path / "results"
+    _write_telemetry(results, "figA", 2.0, 1000)
+    build_report(
+        results_dir=str(results),
+        bench_pattern=str(tmp_path / "BENCH_*.json"),
+    )
+    _write_telemetry(results, "figA", 1.0, 1000)
+    report = build_report(
+        results_dir=str(results),
+        bench_pattern=str(tmp_path / "BENCH_*.json"),
+    )
+    rows = {row["metric"]: row for row in report["deltas"]}
+    assert rows["wall_s"]["flag"] == "improved"
+    assert not report["regressions"]
+
+
+def test_report_history_is_bounded_and_idempotent(tmp_path):
+    path = str(tmp_path / "history.json")
+    entries = []
+    for index in range(HISTORY_LIMIT + 5):
+        entries = append_history(path, entries, {"n": {"wall_s": index}})
+    assert len(entries) == HISTORY_LIMIT
+    # Identical tail snapshot: no growth.
+    entries = append_history(
+        path, entries, {"n": {"wall_s": HISTORY_LIMIT + 4}}
+    )
+    assert len(entries) == HISTORY_LIMIT
+    assert load_history(path) == entries
+
+
+def test_bench_history_roundtrip_and_v1_backfill(tmp_path):
+    path = str(tmp_path / "BENCH_x.json")
+    # A v1-era file: payload plus flat annotation, no history.
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"suite": "s", "wall_s": 2.0, "bench_schema_version": 1,
+             "host": {"python": "3"}},
+            handle,
+        )
+    doc = bench_record(path, {"suite": "s", "wall_s": 1.0})
+    assert doc["bench_schema_version"] == 2
+    assert [e["payload"]["wall_s"] for e in doc["history"]] == [2.0, 1.0]
+    # Re-recording the identical payload is a no-op.
+    doc = bench_record(path, {"suite": "s", "wall_s": 1.0})
+    assert len(doc["history"]) == 2
+    current, previous = collect_bench(str(tmp_path / "BENCH_*.json"))[
+        "BENCH_x.json"
+    ]
+    assert current["wall_s"] == 1.0
+    assert previous["wall_s"] == 2.0
+
+
+def test_bench_history_feeds_report_deltas(tmp_path):
+    path = str(tmp_path / "BENCH_x.json")
+    bench_record(path, {"suite": "s", "run": {"wall_s": 1.0}})
+    bench_record(path, {"suite": "s", "run": {"wall_s": 2.0}})
+    report = build_report(
+        results_dir=str(tmp_path / "results"),
+        bench_pattern=str(tmp_path / "BENCH_*.json"),
+        history_path=str(tmp_path / "history.json"),
+    )
+    rows = {row["metric"]: row for row in report["deltas"]}
+    assert rows["run.wall_s"]["flag"] == "regression"
+    assert rows["run.wall_s"]["previous"] == 1.0
+    assert rows["run.wall_s"]["current"] == 2.0
+
+
+def test_pytest_benchmark_payloads_flatten_to_stats(tmp_path):
+    path = str(tmp_path / "BENCH_micro.json")
+    payload = {
+        "machine_info": {"cpu": "x"},
+        "benchmarks": [
+            {"name": "test_spin", "stats": {"mean": 0.5, "ops": 2.0,
+                                            "data": [1, 2, 3]}}
+        ],
+    }
+    bench_record(path, payload)
+    current, _ = collect_bench(str(tmp_path / "BENCH_*.json"))[
+        "BENCH_micro.json"
+    ]
+    assert current == {"test_spin.mean": 0.5, "test_spin.ops": 2.0}

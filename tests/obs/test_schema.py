@@ -127,6 +127,33 @@ def test_validate_single_document(tmp_path):
     assert validate_file(str(data_path), str(schema_path)) == 1
 
 
+def test_local_ref_resolves_against_definitions():
+    schema = {
+        "type": "object",
+        "properties": {"p": {"$ref": "#/definitions/point"}},
+        "definitions": {
+            "point": {
+                "type": "object",
+                "required": ["x"],
+                "properties": {"x": {"type": "integer"}},
+                "additionalProperties": False,
+            }
+        },
+    }
+    validate({"p": {"x": 1}}, schema)
+    with pytest.raises(SchemaError, match="missing required key 'x'"):
+        validate({"p": {}}, schema)
+    with pytest.raises(SchemaError, match="unexpected key 'y'"):
+        validate({"p": {"x": 1, "y": 2}}, schema)
+
+
+def test_unresolvable_or_remote_ref_is_an_error():
+    with pytest.raises(SchemaError, match="unresolvable"):
+        validate({}, {"$ref": "#/definitions/missing", "definitions": {}})
+    with pytest.raises(SchemaError, match="document-local"):
+        validate({}, {"$ref": "http://example.com/schema.json"})
+
+
 # -- CLI ---------------------------------------------------------------------
 
 

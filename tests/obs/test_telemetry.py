@@ -70,6 +70,38 @@ def test_as_dict_validates_against_checked_in_schema(tmp_path):
     assert payload["experiment"] == "figure3"
 
 
+def test_profiled_payload_validates_against_checked_in_schema(tmp_path):
+    from repro.obs.profile import Profiler
+    from repro.obs.schema import SchemaError, validate
+
+    profiler = Profiler(sample_every=4)
+    profiler.account("pinger", 0.002)
+    profiler.account_category("record", 0.001)
+    run = RunTelemetry("figure9")
+    run.wall_s = 0.25
+    run.record_cell(
+        CellMeta(
+            index=0,
+            wall_s=0.1,
+            events=10,
+            rng_streams=["root/0"],
+            profile=profiler.snapshot(),
+        )
+    )
+    payload = run.as_dict()
+    assert payload["profile"]["enabled"] is True
+    path = tmp_path / "telemetry.json"
+    write_telemetry(str(path), payload)
+    assert validate_file(str(path), SCHEMA_PATH) == 1
+
+    # the schema is strict about the profile shape, not just its presence
+    with open(SCHEMA_PATH, encoding="utf-8") as handle:
+        schema = json.load(handle)
+    payload["cells"][0]["profile"]["processes"]["pinger"]["bogus"] = 1
+    with pytest.raises(SchemaError, match="bogus"):
+        validate(payload, schema)
+
+
 def test_write_telemetry_creates_parent_dirs(tmp_path):
     path = tmp_path / "nested" / "deeper" / "telemetry.json"
     write_telemetry(str(path), {"k": 1})

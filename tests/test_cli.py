@@ -102,3 +102,87 @@ def test_unknown_command_rejected():
 def test_bad_protocol_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["simulate", "tcp"])
+
+
+def test_stats_unknown_experiment_exits_one(capsys):
+    assert main(["stats", "nosuch"]) == 1
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1
+    assert "unknown experiment 'nosuch'" in err
+
+
+def test_trace_unknown_experiment_exits_one(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["trace", "nosuch"]) == 1
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1
+    assert "unknown experiment 'nosuch'" in err
+    # The bad ID must not leave a stub results/nosuch/ behind.
+    assert not (tmp_path / "results" / "nosuch").exists()
+
+
+def test_spans_missing_trace_names_expected_path(capsys, tmp_path,
+                                                monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["spans", "figure9"]) == 1
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1
+    assert "results/figure9/trace.jsonl" in err
+
+
+def test_spans_empty_trace_is_reported_as_missing(capsys, tmp_path,
+                                                  monkeypatch):
+    # A zero-byte file is what a run killed before its first flush
+    # leaves behind: partially-written, not foldable.
+    monkeypatch.chdir(tmp_path)
+    target = tmp_path / "results" / "figure9"
+    target.mkdir(parents=True)
+    (target / "trace.jsonl").write_text("", encoding="utf-8")
+    assert main(["spans", "figure9"]) == 1
+    assert "results/figure9/trace.jsonl" in capsys.readouterr().err
+
+
+def test_trace_then_spans_roundtrip(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["trace", "figure7", "--limit", "0"]) == 0
+    capsys.readouterr()
+    assert main(["spans", "figure7"]) == 0
+    out = capsys.readouterr().out
+    assert "reconciliation [ok]" in out
+
+
+def test_trace_perfetto_format_writes_trace_events(capsys, tmp_path,
+                                                   monkeypatch):
+    import json as _json
+
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["trace", "figure7", "--limit", "0", "--format",
+                 "perfetto"]) == 0
+    path = tmp_path / "results" / "figure7" / "trace.perfetto.json"
+    assert path.is_file()
+    document = _json.loads(path.read_text(encoding="utf-8"))
+    assert document["traceEvents"]
+    assert {e["ph"] for e in document["traceEvents"]} <= {"X", "i", "C",
+                                                          "M"}
+
+
+def test_report_smoke(capsys, tmp_path, monkeypatch):
+    import json as _json
+
+    monkeypatch.chdir(tmp_path)
+    results = tmp_path / "results" / "figA"
+    results.mkdir(parents=True)
+    (results / "telemetry.json").write_text(
+        _json.dumps(
+            {"experiment": "figA",
+             "run": {"wall_s": 1.0, "events": 10,
+                     "events_per_sec": 10.0, "cells": 1}}
+        ),
+        encoding="utf-8",
+    )
+    assert main(["report"]) == 0
+    assert "no previous snapshot" in capsys.readouterr().out
+    assert main(["report"]) == 0
+    assert "deltas" in capsys.readouterr().out
