@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-json bench-cache bench-kernel overhead-check chaos spec-overhead-check report experiments experiments-quick examples clean
+.PHONY: install test lint lint-deep bench bench-json bench-cache bench-kernel bench-lint overhead-check chaos spec-overhead-check report experiments experiments-quick examples clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -15,6 +15,13 @@ test:
 # Exit codes: 0 clean, 1 findings/baseline drift, 2 usage error.
 lint:
 	PYTHONPATH=$(CURDIR)/src $(PYTHON) -m repro lint src benchmarks examples --baseline lint-baseline.json
+
+# Whole-program pass on top of the line-local rules: call-graph +
+# RNG-provenance (RPR101/102), same-time races (RPR103), cache purity
+# (RPR104).  This is the CI invocation; deep findings gate against the
+# "deep" section of lint-baseline.json.
+lint-deep:
+	PYTHONPATH=$(CURDIR)/src $(PYTHON) -m repro lint src benchmarks examples --deep --baseline lint-baseline.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -48,6 +55,14 @@ bench-cache:
 bench-kernel:
 	$(PYTHON) benchmarks/bench_kernel.py --assert-fanout-speedup 3 \
 		--assert-identical --out BENCH_kernel.json
+
+# Lint-speed gate (docs/LINT.md): full shallow+deep pass over
+# src/benchmarks/examples from a cold parse cache, then again warm.
+# Asserts < 10s cold, < 2s warm, and zero re-parses on the warm pass;
+# emits BENCH_lint.json.
+bench-lint:
+	$(PYTHON) benchmarks/bench_lint.py --assert-cold-seconds 10 \
+		--assert-warm-seconds 2 --out BENCH_lint.json
 
 # CI gate: tracing+span hooks must cost < 3% on the kernel when
 # disabled, and the sampling profiler < 10% when enabled.

@@ -7,20 +7,34 @@ any baseline entry that no longer matches a real finding (stale
 entries must be deleted as their code is fixed, so the baseline only
 ever shrinks).
 
+Two sections share one file: ``findings`` grandfathers the line-local
+pass (RPR0xx) and ``deep`` grandfathers the whole-program pass
+(RPR1xx, only consulted under ``repro lint --deep``).  Both are empty
+in this repo — the gate exists so they *stay* empty.
+
 Entries match on ``(path, code, line)``.  A fixed line number is a
 deliberate choice: unrelated edits that shift a grandfathered finding
 force the author to look at it, which is how baselined debt gets paid
 down.
+
+``--write-baseline`` rewrites the file **in place**: the existing
+file's top-level key order is preserved (so a rewrite of an unchanged
+baseline is byte-identical and diffs clean), and the writer returns an
+added/removed count per rule code so the CLI can print exactly how the
+baseline moved.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.lint.findings import Finding
 
 BASELINE_VERSION = 1
+
+#: Section name for the whole-program pass.
+DEEP_SECTION = "deep"
 
 
 def load_baseline(path: str) -> Dict[str, Any]:
@@ -35,46 +49,120 @@ def load_baseline(path: str) -> Dict[str, Any]:
             f"{path}: not a v{BASELINE_VERSION} lint baseline "
             "(expected {'version': 1, 'findings': [...]})"
         )
-    for entry in payload["findings"]:
-        if not {"path", "code", "line"} <= set(entry):
-            raise ValueError(
-                f"{path}: baseline entry missing path/code/line: {entry}"
-            )
+    if not isinstance(payload.get(DEEP_SECTION, []), list):
+        raise ValueError(
+            f"{path}: baseline {DEEP_SECTION!r} section must be a list"
+        )
+    for section in ("findings", DEEP_SECTION):
+        for entry in payload.get(section, []):
+            if not {"path", "code", "line"} <= set(entry):
+                raise ValueError(
+                    f"{path}: baseline entry missing path/code/line: {entry}"
+                )
     return payload
 
 
-def write_baseline(path: str, findings: Sequence[Finding]) -> None:
-    """Serialise current findings as a fresh baseline."""
-    payload = {
-        "version": BASELINE_VERSION,
-        "findings": [
-            {
-                "path": f.path,
-                "code": f.code,
-                "line": f.line,
-                "message": f.message,
-            }
-            for f in sorted(findings, key=Finding.sort_key)
-        ],
+def _entries(findings: Sequence[Finding]) -> List[Dict[str, Any]]:
+    return [
+        {
+            "path": f.path,
+            "code": f.code,
+            "line": f.line,
+            "message": f.message,
+        }
+        for f in sorted(findings, key=Finding.sort_key)
+    ]
+
+
+def _keys(entries: Sequence[Dict[str, Any]]) -> Dict[Tuple, Dict[str, Any]]:
+    return {
+        (entry["path"], entry["code"], entry["line"]): entry
+        for entry in entries
     }
+
+
+def baseline_diff(
+    old: Dict[str, Any], new: Dict[str, Any]
+) -> Dict[str, Dict[str, int]]:
+    """Per-rule-code added/removed counts between two baseline payloads.
+
+    Counts cover both sections (an entry moving between sections counts
+    as removed+added, which cannot happen for real codes anyway: RPR0xx
+    entries live in ``findings``, RPR1xx in ``deep``).
+    """
+    diff: Dict[str, Dict[str, int]] = {}
+
+    def bump(code: str, kind: str) -> None:
+        slot = diff.setdefault(code, {"added": 0, "removed": 0})
+        slot[kind] += 1
+
+    for section in ("findings", DEEP_SECTION):
+        old_keys = _keys(old.get(section, []))
+        new_keys = _keys(new.get(section, []))
+        for key in new_keys:
+            if key not in old_keys:
+                bump(key[1], "added")
+        for key in old_keys:
+            if key not in new_keys:
+                bump(key[1], "removed")
+    return diff
+
+
+def write_baseline(
+    path: str,
+    findings: Sequence[Finding],
+    deep_findings: Optional[Sequence[Finding]] = None,
+) -> Dict[str, Dict[str, int]]:
+    """Serialise current findings as a fresh baseline; returns the diff.
+
+    When ``path`` already holds a readable baseline its top-level key
+    order is preserved and only the rewritten sections change — a
+    no-op rewrite round-trips byte-identically.  ``deep_findings`` of
+    ``None`` (a run without ``--deep``) leaves any existing ``deep``
+    section untouched rather than emptying it.
+    """
+    try:
+        old = load_baseline(path)
+    except (OSError, ValueError, json.JSONDecodeError):
+        old = {"version": BASELINE_VERSION, "findings": []}
+
+    payload: Dict[str, Any] = {}
+    for key in old:
+        if key == "findings":
+            payload[key] = _entries(findings)
+        elif key == DEEP_SECTION:
+            payload[key] = (
+                _entries(deep_findings)
+                if deep_findings is not None
+                else old[key]
+            )
+        else:
+            payload[key] = old[key]
+    if "version" not in payload:
+        payload["version"] = BASELINE_VERSION
+    if "findings" not in payload:
+        payload["findings"] = _entries(findings)
+    if DEEP_SECTION not in payload and deep_findings is not None:
+        payload[DEEP_SECTION] = _entries(deep_findings)
+
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=1)
         handle.write("\n")
+    return baseline_diff(old, payload)
 
 
 def apply_baseline(
-    findings: Sequence[Finding], baseline: Dict[str, Any]
+    findings: Sequence[Finding],
+    baseline: Dict[str, Any],
+    section: str = "findings",
 ) -> Tuple[List[Finding], List[Dict[str, Any]]]:
-    """Split findings into (new, stale-baseline-entries).
+    """Split findings into (new, stale-baseline-entries) for a section.
 
     A finding matched by a baseline entry is grandfathered (dropped
     from the returned list); a baseline entry matching no finding is
     stale and returned for the caller to fail on.
     """
-    keys = {
-        (entry["path"], entry["code"], entry["line"]): entry
-        for entry in baseline["findings"]
-    }
+    keys = _keys(baseline.get(section, []))
     matched = set()
     new: List[Finding] = []
     for finding in findings:

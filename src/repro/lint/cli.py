@@ -2,8 +2,14 @@
 
 Usage::
 
-    python -m repro lint [PATH ...] [--format text|json]
+    python -m repro lint [PATH ...] [--deep]
+                         [--format text|json|sarif]
                          [--baseline FILE] [--write-baseline FILE]
+
+``--deep`` additionally runs the whole-program pass
+(:mod:`repro.lint.deep`: RNG provenance, same-time races, cache
+purity) on top of the line-local rules; both passes share one
+content-hash AST cache, so every file is parsed once.
 
 Exit codes (stable contract, relied on by CI and the Makefile):
 
@@ -46,10 +52,17 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         f"(default: {' '.join(DEFAULT_PATHS)}, those that exist)",
     )
     parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the whole-program pass (RNG provenance, "
+        "same-time races, cache purity: RPR101-RPR104)",
+    )
+    parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
-        help="output format (json is stable for editor/CI consumption)",
+        help="output format (json is stable for editor/CI consumption; "
+        "sarif is SARIF 2.1.0 for code-scanning ingestion)",
     )
     parser.add_argument(
         "--baseline",
@@ -84,16 +97,28 @@ def run(args: argparse.Namespace) -> int:
         return 2
 
     findings = lint_paths(paths)
+    deep_findings: Optional[List[Finding]] = None
+    if args.deep:
+        from repro.lint.deep import deep_lint_paths
+
+        deep_findings = deep_lint_paths(paths)
 
     if args.write_baseline:
-        write_baseline(args.write_baseline, findings)
-        print(
-            f"wrote {len(findings)} finding(s) to {args.write_baseline}"
+        diff = write_baseline(
+            args.write_baseline, findings, deep_findings=deep_findings
         )
+        total = len(findings) + len(deep_findings or [])
+        print(f"wrote {total} finding(s) to {args.write_baseline}")
+        for code in sorted(diff):
+            added, removed = diff[code]["added"], diff[code]["removed"]
+            print(f"  {code}: +{added} -{removed}")
+        if not diff:
+            print("  baseline unchanged")
         return 0
 
     stale: List[dict] = []
-    reported = findings
+    reported = list(findings)
+    baselined = 0
     if args.baseline:
         try:
             baseline = load_baseline(args.baseline)
@@ -101,11 +126,26 @@ def run(args: argparse.Namespace) -> int:
             print(f"repro lint: {exc}", file=sys.stderr)
             return 2
         reported, stale = apply_baseline(findings, baseline)
+        baselined = len(findings) - len(reported)
+        if deep_findings is not None:
+            new_deep, deep_stale = apply_baseline(
+                deep_findings, baseline, section="deep"
+            )
+            baselined += len(deep_findings) - len(new_deep)
+            reported.extend(new_deep)
+            stale.extend(deep_stale)
+    elif deep_findings is not None:
+        reported.extend(deep_findings)
+    reported.sort(key=Finding.sort_key)
 
     if args.format == "json":
         _print_json(reported, stale)
+    elif args.format == "sarif":
+        from repro.lint.sarif import sarif_json
+
+        sys.stdout.write(sarif_json(reported))
     else:
-        _print_text(reported, stale, baselined=len(findings) - len(reported))
+        _print_text(reported, stale, baselined=baselined)
     return 1 if (reported or stale) else 0
 
 

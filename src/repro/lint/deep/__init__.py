@@ -1,0 +1,38 @@
+"""Whole-program dataflow analyses behind ``repro lint --deep``.
+
+The line-local rule pack (RPR001-RPR009) checks what a single file can
+prove.  This package adds the interprocedural layer: a call-graph and
+module-dependency builder over the linted file set (:mod:`.graph`,
+sharing the AST import walker with ``repro.cache.fingerprint`` so
+analyzer scope and cache-fingerprint scope never drift), and three
+analyses that run over it:
+
+* :mod:`.rng` — RPR101 substream aliasing / RPR102 derivation cycles:
+  ``RngStreams`` families are tracked from injection point to draw
+  site, across calls, and two independent components drawing the same
+  substream are flagged with the full chain;
+* :mod:`.races` — RPR103 same-time races: per-process-generator write
+  sets over shared objects, intersected across generators that can be
+  scheduled at an identical timestamp;
+* :mod:`.purity` — RPR104 cache purity: every ``@memoize``\\ d solver
+  and every cacheable experiment cell is proved to read only its
+  parameters and fingerprinted code, or the escaping read is flagged
+  with the call chain that reaches it.
+
+Entry point: :func:`deep_lint_paths`.
+"""
+
+from repro.lint.deep.engine import (
+    DEEP_CODES,
+    deep_lint_paths,
+    deep_lint_program,
+)
+from repro.lint.deep.graph import Program, build_program
+
+__all__ = [
+    "DEEP_CODES",
+    "Program",
+    "build_program",
+    "deep_lint_paths",
+    "deep_lint_program",
+]

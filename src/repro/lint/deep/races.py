@@ -1,0 +1,538 @@
+"""RPR103: same-time races between DES process generators.
+
+The kernel breaks timestamp ties deterministically ((time, priority,
+insertion order)), but *insertion order* is a property of setup code —
+two generators that can be scheduled at the identical instant and both
+write the same shared state produce results that silently depend on
+the order they happened to be registered.  Reordering two
+``env.process(...)`` lines is supposed to be a no-op; with such a pair
+it is not.
+
+The detector computes, per process generator (``yield from`` folded
+in, plus a bounded closure over the helper methods it calls):
+
+* its **same-time capability** — ``timeout(0)`` (reschedule *now*),
+  ``timeout_at(t)`` (an absolute instant other generators can also
+  name), ``timeout_many(...)`` (a batch of delays, any of which can
+  collide);
+* its **write set** over shared objects — ``self.<attr>`` stores,
+  mutations of ``self.<attr>`` objects (item stores, mutator-method
+  calls on channels / tables / registries), and module-global
+  registries.
+
+It then flags (a) pairs of generators spawned on the *same instance*
+(both via ``env.process(self.m())`` from one class) whose instants can
+coincide and whose write sets overlap, and (b) generators spawned in a
+loop (many concurrent instances) that are same-time capable and write
+instance-shared or global state.  A documented tie-break is expressed
+as an inline ``# repro-lint: disable=RPR103`` with a justifying
+comment at the spawn site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.deep.graph import (
+    FunctionInfo,
+    Program,
+    own_nodes,
+)
+from repro.lint.findings import Finding, TraceStep
+
+__all__ = ["analyze_races"]
+
+#: Method names treated as mutating their receiver.
+_MUTATORS = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "delete",
+    "dequeue",
+    "discard",
+    "enqueue",
+    "expire",
+    "extend",
+    "insert",
+    "pop",
+    "popleft",
+    "push",
+    "put",
+    "register",
+    "remove",
+    "send",
+    "set",
+    "setdefault",
+    "touch",
+    "unregister",
+    "update",
+}
+
+#: How deep the helper-call closure follows ``self`` methods.
+_CLOSURE_DEPTH = 3
+
+
+class _Effects:
+    """Writes and same-time instants of one function body."""
+
+    __slots__ = ("writes", "instants")
+
+    def __init__(self) -> None:
+        #: write key -> (description, TraceStep)
+        self.writes: Dict[Tuple, Tuple[str, TraceStep]] = {}
+        #: instant kind -> TraceStep; kinds: "zero", ("at", text), "many"
+        self.instants: Dict[object, TraceStep] = {}
+
+
+def _step(fn: FunctionInfo, node: ast.AST, note: str) -> TraceStep:
+    return TraceStep(
+        path=fn.path, line=getattr(node, "lineno", fn.lineno), note=note
+    )
+
+
+def _local_names(fn: FunctionInfo) -> Set[str]:
+    names = set(fn.params())
+    for node in own_nodes(fn.node):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            names.difference_update(node.names)
+    return names
+
+
+class _RacePass:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._effects: Dict[str, _Effects] = {}
+
+    # -- per-function effects ----------------------------------------------
+    def effects(self, fn: FunctionInfo) -> _Effects:
+        cached = self._effects.get(fn.id)
+        if cached is not None:
+            return cached
+        eff = _Effects()
+        self._effects[fn.id] = eff
+        locals_ = _local_names(fn)
+        for node in own_nodes(fn.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._write_target(fn, eff, target, locals_)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                self._write_target(fn, eff, node.target, locals_)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    self._write_target(fn, eff, target, locals_)
+            elif isinstance(node, ast.Call):
+                self._call_effects(fn, eff, node, locals_)
+        return eff
+
+    def _write_target(
+        self,
+        fn: FunctionInfo,
+        eff: _Effects,
+        target: ast.expr,
+        locals_: Set[str],
+    ) -> None:
+        key_desc = self._write_key(fn, target, locals_)
+        if key_desc is None:
+            return
+        key, desc = key_desc
+        eff.writes.setdefault(key, (desc, _step(fn, target, desc)))
+
+    def _write_key(
+        self, fn: FunctionInfo, target: ast.expr, locals_: Set[str]
+    ) -> Optional[Tuple[Tuple, str]]:
+        """Classify a store/delete target as a shared-state write."""
+        if isinstance(target, ast.Attribute):
+            base = target.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                return (("attr", target.attr), f"writes self.{target.attr}")
+            # self.<obj>.<field> = ... mutates the shared object.
+            root = self._self_root(base)
+            if root is not None:
+                return (
+                    ("obj", root),
+                    f"mutates self.{root} (.{target.attr} store)",
+                )
+            gkey = self._global_root(fn, base, locals_)
+            if gkey is not None:
+                return (gkey, f"mutates global {gkey[2]}")
+            return None
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            root = self._self_root(base)
+            if root is not None:
+                return (("obj", root), f"mutates self.{root} (item store)")
+            gkey = self._global_root(fn, base, locals_)
+            if gkey is not None:
+                return (gkey, f"mutates global {gkey[2]} (item store)")
+        return None
+
+    def _self_root(self, node: ast.expr) -> Optional[str]:
+        """``self.<attr>`` (possibly under further attrs/items) -> attr."""
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def _global_root(
+        self, fn: FunctionInfo, node: ast.expr, locals_: Set[str]
+    ) -> Optional[Tuple]:
+        """A Name rooted in module scope or an import -> global key."""
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if not isinstance(node, ast.Name) or node.id in locals_:
+            return None
+        ctx = fn.module.ctx
+        if node.id in ctx.from_imports:
+            source, original = ctx.from_imports[node.id]
+            return ("global", source, original)
+        if node.id in ctx.module_aliases:
+            return None  # a module object, not a registry
+        if node.id in fn.module.functions or node.id in fn.module.classes:
+            return None
+        return ("global", fn.module.name, node.id)
+
+    def _call_effects(
+        self,
+        fn: FunctionInfo,
+        eff: _Effects,
+        call: ast.Call,
+        locals_: Set[str],
+    ) -> None:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        name = func.attr
+        if name == "timeout":
+            if (
+                call.args
+                and isinstance(call.args[0], ast.Constant)
+                and call.args[0].value in (0, 0.0)
+            ):
+                eff.instants.setdefault(
+                    "zero", _step(fn, call, "timeout(0): reschedules at now")
+                )
+            return
+        if name == "timeout_at":
+            text = ast.unparse(call.args[0]) if call.args else "<t>"
+            eff.instants.setdefault(
+                ("at", text),
+                _step(fn, call, f"timeout_at({text}): absolute instant"),
+            )
+            return
+        if name == "timeout_many":
+            eff.instants.setdefault(
+                "many",
+                _step(
+                    fn, call, "timeout_many(...): batch of colliding delays"
+                ),
+            )
+            return
+        if name in _MUTATORS:
+            root = self._self_root(func.value)
+            if root is not None:
+                eff.writes.setdefault(
+                    ("obj", root),
+                    (
+                        f"mutates self.{root} (.{name}())",
+                        _step(fn, call, f"mutates self.{root} via .{name}()"),
+                    ),
+                )
+                return
+            gkey = self._global_root(fn, func.value, locals_)
+            if gkey is not None:
+                eff.writes.setdefault(
+                    gkey,
+                    (
+                        f"mutates global {gkey[2]} (.{name}())",
+                        _step(
+                            fn, call, f"mutates global {gkey[2]} via .{name}()"
+                        ),
+                    ),
+                )
+
+    # -- generator closure -------------------------------------------------
+    def closure_effects(self, gen: FunctionInfo) -> _Effects:
+        """Effects of ``gen`` plus yield-from'd generators and helpers."""
+        merged = _Effects()
+        seen: Set[str] = set()
+        frontier: List[Tuple[FunctionInfo, int]] = [(gen, 0)]
+        while frontier:
+            fn, depth = frontier.pop()
+            if fn.id in seen:
+                continue
+            seen.add(fn.id)
+            eff = self.effects(fn)
+            for key in sorted(eff.writes, key=repr):
+                merged.writes.setdefault(key, eff.writes[key])
+            for kind in sorted(eff.instants, key=repr):
+                merged.instants.setdefault(kind, eff.instants[kind])
+            if depth >= _CLOSURE_DEPTH:
+                continue
+            for callee, _node in self.program.callees(fn):
+                # Sub-generators only matter when delegated to
+                # (``yield from``); called helpers always execute.
+                if callee.is_generator and not _is_delegated(fn, callee):
+                    continue
+                frontier.append((callee, depth + 1))
+        return merged
+
+
+def _is_delegated(fn: FunctionInfo, callee: FunctionInfo) -> bool:
+    for node in own_nodes(fn.node):
+        if (
+            isinstance(node, ast.YieldFrom)
+            and isinstance(node.value, ast.Call)
+        ):
+            func = node.value.func
+            name = None
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            if name == callee.name:
+                return True
+    return False
+
+
+class _Spawn:
+    """One ``env.process(...)`` site."""
+
+    __slots__ = ("generator", "spawner", "node", "in_loop", "on_self")
+
+    def __init__(
+        self,
+        generator: FunctionInfo,
+        spawner: FunctionInfo,
+        node: ast.Call,
+        in_loop: bool,
+        on_self: bool,
+    ) -> None:
+        self.generator = generator
+        self.spawner = spawner
+        self.node = node
+        self.in_loop = in_loop
+        self.on_self = on_self
+
+
+def _collect_spawns(program: Program) -> List[_Spawn]:
+    spawns: List[_Spawn] = []
+    for fn in program.sorted_functions():
+        parents = fn.module.ctx.parents
+        for node in own_nodes(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            inner: Optional[ast.expr] = None
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "process":
+                inner = node.args[0] if node.args else None
+            elif isinstance(func, ast.Name) and func.id == "Process":
+                inner = node.args[1] if len(node.args) > 1 else None
+            if not isinstance(inner, ast.Call):
+                continue
+            targets = program.call_targets(fn, inner)
+            for target in targets:
+                if not target.is_generator:
+                    continue
+                on_self = (
+                    isinstance(inner.func, ast.Attribute)
+                    and isinstance(inner.func.value, ast.Name)
+                    and inner.func.value.id == "self"
+                )
+                spawns.append(
+                    _Spawn(
+                        target,
+                        fn,
+                        node,
+                        _inside_loop(parents, node, fn.node),
+                        on_self,
+                    )
+                )
+    return spawns
+
+
+def _inside_loop(
+    parents: Dict[ast.AST, ast.AST], node: ast.AST, stop: ast.AST
+) -> bool:
+    current = parents.get(node)
+    while current is not None and current is not stop:
+        if isinstance(current, (ast.For, ast.AsyncFor, ast.While)):
+            return True
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            return False
+        current = parents.get(current)
+    return False
+
+
+def _compatible(
+    a: Dict[object, TraceStep], b: Dict[object, TraceStep]
+) -> Optional[Tuple[TraceStep, TraceStep]]:
+    """A pair of instants at which both generators can be scheduled."""
+    if not a or not b:
+        return None
+    for kind in sorted(a, key=repr):
+        if kind == "many" and b:
+            other = sorted(b, key=repr)[0]
+            return a[kind], b[other]
+        if "many" in b:
+            return a[kind], b["many"]
+        if kind in b:  # zero-zero or identical timeout_at expression
+            return a[kind], b[kind]
+        if kind == "zero":
+            for okind in sorted(b, key=repr):
+                if isinstance(okind, tuple) and okind[0] == "at":
+                    return a[kind], b[okind]
+        if isinstance(kind, tuple) and kind[0] == "at" and "zero" in b:
+            return a[kind], b["zero"]
+    return None
+
+
+def _suppressed(spawn: _Spawn) -> bool:
+    for fn, node in (
+        (spawn.spawner, spawn.node),
+        (spawn.generator, spawn.generator.node),
+    ):
+        codes = fn.module.suppressions.get(getattr(node, "lineno", 0))
+        if codes and ("all" in codes or "RPR103" in codes):
+            return True
+    return False
+
+
+def analyze_races(program: Program) -> List[Finding]:
+    race_pass = _RacePass(program)
+    spawns = [s for s in _collect_spawns(program) if not _suppressed(s)]
+    findings: List[Finding] = []
+    reported: Set[Tuple] = set()
+
+    effects: Dict[str, _Effects] = {}
+    for spawn in spawns:
+        if spawn.generator.id not in effects:
+            effects[spawn.generator.id] = race_pass.closure_effects(
+                spawn.generator
+            )
+
+    # -- (a) same-instance pairs with colliding instants + write overlap.
+    by_class: Dict[str, List[_Spawn]] = {}
+    for spawn in spawns:
+        if spawn.on_self and spawn.spawner.cls is not None:
+            by_class.setdefault(spawn.spawner.cls.id, []).append(spawn)
+    for cls_id in sorted(by_class):
+        group = by_class[cls_id]
+        for i, left in enumerate(group):
+            for right in group[i + 1 :]:
+                if left.generator.id == right.generator.id:
+                    continue
+                pair_key = tuple(
+                    sorted((left.generator.id, right.generator.id))
+                )
+                if ("pair", cls_id, pair_key) in reported:
+                    continue
+                eff_l = effects[left.generator.id]
+                eff_r = effects[right.generator.id]
+                instant = _compatible(eff_l.instants, eff_r.instants)
+                if instant is None:
+                    continue
+                overlap = sorted(
+                    set(eff_l.writes) & set(eff_r.writes), key=repr
+                )
+                if not overlap:
+                    continue
+                reported.add(("pair", cls_id, pair_key))
+                what = ", ".join(
+                    eff_l.writes[key][0] for key in overlap[:3]
+                )
+                trace = (
+                    _step(
+                        left.spawner,
+                        left.node,
+                        f"{left.generator.qualname} spawned here",
+                    ),
+                    _step(
+                        right.spawner,
+                        right.node,
+                        f"{right.generator.qualname} spawned here",
+                    ),
+                    instant[0],
+                    instant[1],
+                    eff_l.writes[overlap[0]][1],
+                    eff_r.writes[overlap[0]][1],
+                )
+                findings.append(
+                    Finding(
+                        path=left.spawner.path,
+                        line=left.node.lineno,
+                        col=left.node.col_offset,
+                        code="RPR103",
+                        rule="same-time-race",
+                        severity="warning",
+                        message=(
+                            f"generators {left.generator.qualname}() and "
+                            f"{right.generator.qualname}() can be scheduled "
+                            "at the same instant and both touch shared "
+                            f"state ({what}); the outcome depends on "
+                            "registration order — document the tie-break "
+                            "or stagger the instants"
+                        ),
+                        trace=trace,
+                    )
+                )
+
+    # -- (b) loop-spawned generators: many concurrent instances.
+    seen_loops: Set[str] = set()
+    for spawn in spawns:
+        if not spawn.in_loop or spawn.generator.id in seen_loops:
+            continue
+        eff = effects[spawn.generator.id]
+        if not eff.instants:
+            continue
+        shared = sorted(
+            (
+                key
+                for key in eff.writes
+                if key[0] == "global" or spawn.on_self
+            ),
+            key=repr,
+        )
+        if not shared:
+            continue
+        seen_loops.add(spawn.generator.id)
+        instant_step = eff.instants[sorted(eff.instants, key=repr)[0]]
+        what = ", ".join(eff.writes[key][0] for key in shared[:3])
+        findings.append(
+            Finding(
+                path=spawn.spawner.path,
+                line=spawn.node.lineno,
+                col=spawn.node.col_offset,
+                code="RPR103",
+                rule="same-time-race",
+                severity="warning",
+                message=(
+                    f"{spawn.generator.qualname}() is spawned per loop "
+                    "iteration, so several instances can be scheduled at "
+                    f"the same instant while sharing state ({what}); "
+                    "results then depend on spawn order — document the "
+                    "tie-break or derive per-instance state"
+                ),
+                trace=(
+                    _step(
+                        spawn.spawner,
+                        spawn.node,
+                        "spawned inside a loop (many concurrent instances)",
+                    ),
+                    instant_step,
+                    eff.writes[shared[0]][1],
+                ),
+            )
+        )
+    findings.sort(key=Finding.sort_key)
+    return findings

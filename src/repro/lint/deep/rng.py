@@ -1,0 +1,612 @@
+"""RPR101/RPR102: interprocedural RNG substream provenance.
+
+``RngStreams`` (repro.des.rng) exists so every component draws from its
+own named substream — adding a draw in one place must never perturb
+another component's sequence.  That contract has two statically
+checkable failure shapes this module hunts across the whole program:
+
+* **RPR101 substream aliasing** — the same ``(family, name)`` substream
+  is drawn at two or more independent sites (two components handed the
+  same stream are order-coupled: whichever draws first eats the other's
+  numbers, so an unrelated code change reorders results).  Families are
+  tracked from their injection point (``RngStreams(...)`` construction
+  or ``.spawn(...)`` derivation) through assignments, ``self``
+  attributes, and **function-call argument bindings** to every draw
+  site ``family["name"]``; the finding carries the injection-to-draw
+  chain.
+
+* **RPR102 derivation cycles** — a family re-derived from itself
+  (``streams = streams.spawn(...)`` loop-carried, or a ``self`` attr
+  re-spawned outside ``__init__``): substream identity then depends on
+  iteration count or call order, which defeats the "stable name ->
+  stable stream" guarantee.
+
+The family abstraction is keyed by *static identity*: a construction
+site, a spawn of a parent key, or a per-class ``self.<attr>`` slot.
+Families returned out of helper functions are re-keyed per call site so
+two callers of ``make_streams(...)`` are never conflated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.deep.graph import (
+    ClassInfo,
+    FunctionInfo,
+    Program,
+    own_nodes,
+)
+from repro.lint.findings import Finding, TraceStep
+
+__all__ = ["analyze_rng"]
+
+#: Class names treated as stream-family constructors.  Terminal-name
+#: matching keeps fixtures analyzable without repro on the path.
+_FAMILY_CTORS = {"RngStreams"}
+
+#: Cap on interprocedural chain length (and propagation depth).
+_MAX_CHAIN = 8
+
+
+class _Ref:
+    """Abstract family value: concrete key, parameter, or self-attr."""
+
+    __slots__ = ("kind", "key", "chain", "param", "attr")
+
+    def __init__(
+        self,
+        kind: str,
+        key: Optional[Tuple] = None,
+        chain: Tuple[TraceStep, ...] = (),
+        param: Optional[str] = None,
+        attr: Optional[str] = None,
+    ) -> None:
+        self.kind = kind  # "concrete" | "param" | "attr"
+        self.key = key
+        self.chain = chain
+        self.param = param
+        self.attr = attr
+
+
+def _step(fn: FunctionInfo, node: ast.AST, note: str) -> TraceStep:
+    return TraceStep(
+        path=fn.path, line=getattr(node, "lineno", fn.lineno), note=note
+    )
+
+
+def _name_repr(node: Optional[ast.expr]) -> str:
+    if node is None:
+        return "<none>"
+    if isinstance(node, ast.Constant):
+        return repr(node.value)
+    try:
+        return f"dyn:{ast.unparse(node)}"
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return "dyn:<expr>"
+
+
+class _Summary:
+    """Per-function facts gathered in one ordered pass."""
+
+    __slots__ = ("fn", "bindings", "draws", "passes", "returns", "cycles")
+
+    def __init__(self, fn: FunctionInfo) -> None:
+        self.fn = fn
+        self.bindings: Dict[str, _Ref] = {}
+        #: (ref, substream name repr, is_const, subscript node)
+        self.draws: List[Tuple[_Ref, str, bool, ast.AST]] = []
+        #: (callee, param name, ref, call node)
+        self.passes: List[Tuple[FunctionInfo, str, _Ref, ast.Call]] = []
+        #: what the function returns, family-wise: None, a _Ref, or
+        #: ("spawnofparam", param, name_repr).
+        self.returns: Optional[object] = None
+        #: (node, message) RPR102 precursors.
+        self.cycles: List[Tuple[ast.AST, str]] = []
+
+
+class _RngPass:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.summaries: Dict[str, _Summary] = {}
+        self._in_progress: Set[str] = set()
+
+    # -- per-function scan -------------------------------------------------
+    def summary(self, fn: FunctionInfo) -> _Summary:
+        cached = self.summaries.get(fn.id)
+        if cached is not None:
+            return cached
+        summary = _Summary(fn)
+        self.summaries[fn.id] = summary
+        if fn.id in self._in_progress:
+            return summary
+        self._in_progress.add(fn.id)
+        scanner = _Scanner(self, fn, summary)
+        scanner.run()
+        self._in_progress.discard(fn.id)
+        return summary
+
+    def callee_returns(self, fn: FunctionInfo) -> Optional[object]:
+        return self.summary(fn).returns
+
+
+class _Scanner:
+    """One ordered walk of a function body, tracking family bindings."""
+
+    def __init__(
+        self, owner: _RngPass, fn: FunctionInfo, summary: _Summary
+    ) -> None:
+        self.owner = owner
+        self.program = owner.program
+        self.fn = fn
+        self.summary = summary
+        self.loop_depth = 0
+        self._params = set(fn.params())
+
+    def run(self) -> None:
+        self._stmts(self.fn.node.body)
+
+    # -- family evaluation -------------------------------------------------
+    def family_of(self, expr: ast.AST) -> Optional[_Ref]:
+        fn = self.fn
+        if isinstance(expr, ast.Name):
+            bound = self.summary.bindings.get(expr.id)
+            if bound is not None:
+                return bound
+            if expr.id in self._params:
+                return _Ref("param", param=expr.id)
+            return None
+        if isinstance(expr, ast.Attribute):
+            if (
+                isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+            ):
+                return _Ref("attr", attr=expr.attr)
+            return None
+        if not isinstance(expr, ast.Call):
+            return None
+        func = expr.func
+        # RngStreams(...) construction — the injection point.
+        ctor_name = None
+        if isinstance(func, ast.Name):
+            ctor_name = func.id
+        elif isinstance(func, ast.Attribute):
+            ctor_name = func.attr
+        if ctor_name in _FAMILY_CTORS:
+            key = ("ctor", fn.path, expr.lineno)
+            return _Ref(
+                "concrete",
+                key=key,
+                chain=(
+                    _step(fn, expr, "RngStreams family constructed here"),
+                ),
+            )
+        # <family>.spawn(name) — derivation.
+        if isinstance(func, ast.Attribute) and func.attr == "spawn":
+            parent = self.family_of(func.value)
+            if parent is None:
+                return None
+            name = _name_repr(expr.args[0] if expr.args else None)
+            parent_key = self._key_of(parent)
+            key = ("spawn", parent_key, name)
+            chain = parent.chain + (
+                _step(fn, expr, f"child family spawned with name {name}"),
+            )
+            return _Ref("concrete", key=key, chain=chain[-_MAX_CHAIN:])
+        # A helper returning a family: re-key per call site so separate
+        # callers are never conflated.
+        for target in self.program.call_targets(fn, expr):
+            returned = self.owner.callee_returns(target)
+            if returned is None:
+                continue
+            if isinstance(returned, _Ref) and returned.kind == "concrete":
+                key = ("via", fn.path, expr.lineno, returned.key)
+                chain = returned.chain + (
+                    _step(fn, expr, f"family returned by {target.qualname}"),
+                )
+                return _Ref("concrete", key=key, chain=chain[-_MAX_CHAIN:])
+            if (
+                isinstance(returned, tuple)
+                and returned
+                and returned[0] == "spawnofparam"
+            ):
+                _, param, name = returned
+                for bound_param, arg in self.program.bind_arguments(
+                    fn, expr, target
+                ):
+                    if bound_param != param:
+                        continue
+                    base = self.family_of(arg)
+                    if base is None:
+                        return None
+                    key = ("spawn", self._key_of(base), name)
+                    chain = base.chain + (
+                        _step(
+                            fn,
+                            expr,
+                            f"family spawned via {target.qualname}"
+                            f" with name {name}",
+                        ),
+                    )
+                    return _Ref(
+                        "concrete", key=key, chain=chain[-_MAX_CHAIN:]
+                    )
+        return None
+
+    def _key_of(self, ref: _Ref) -> Tuple:
+        if ref.kind == "concrete":
+            return ref.key  # type: ignore[return-value]
+        if ref.kind == "param":
+            return ("param", self.fn.id, ref.param)
+        cls = self._owner_class()
+        cls_id = cls.id if cls is not None else self.fn.id
+        return ("attr", cls_id, ref.attr)
+
+    def _owner_class(self) -> Optional[ClassInfo]:
+        if self.fn.cls is not None:
+            return self.fn.cls
+        scope = self.fn.parent
+        while scope is not None:
+            if scope.cls is not None:
+                return scope.cls
+            scope = scope.parent
+        return None
+
+    # -- expression effects ------------------------------------------------
+    def _effects(self, expr: ast.AST) -> None:
+        """Record draws and family-argument passes inside ``expr``."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Subscript) and isinstance(
+                getattr(node, "ctx", None), ast.Load
+            ):
+                ref = self.family_of(node.value)
+                if ref is not None:
+                    index = node.slice
+                    is_const = isinstance(index, ast.Constant) and isinstance(
+                        index.value, str
+                    )
+                    self.summary.draws.append(
+                        (ref, _name_repr(index), is_const, node)
+                    )
+            elif isinstance(node, ast.Call):
+                for target in self.program.call_targets(self.fn, node):
+                    for param, arg in self.program.bind_arguments(
+                        self.fn, node, target
+                    ):
+                        ref = self.family_of(arg)
+                        if ref is not None:
+                            self.summary.passes.append(
+                                (target, param, ref, node)
+                            )
+
+    # -- statement walk ----------------------------------------------------
+    def _stmts(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            self._effects(stmt.value)
+            self._assign(stmt.targets[0], stmt.value, stmt)
+            return
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._effects(stmt.value)
+            self._assign(stmt.target, stmt.value, stmt)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._effects(stmt.value)
+                returned = self.family_of(stmt.value)
+                if returned is not None and self.summary.returns is None:
+                    self.summary.returns = self._returned_shape(
+                        stmt.value, returned
+                    )
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._effects(stmt.iter)
+            self.loop_depth += 1
+            self._stmts(stmt.body)
+            self._stmts(stmt.orelse)
+            self.loop_depth -= 1
+            return
+        if isinstance(stmt, ast.While):
+            self._effects(stmt.test)
+            self.loop_depth += 1
+            self._stmts(stmt.body)
+            self._stmts(stmt.orelse)
+            self.loop_depth -= 1
+            return
+        if isinstance(stmt, ast.If):
+            self._effects(stmt.test)
+            self._stmts(stmt.body)
+            self._stmts(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._effects(item.context_expr)
+            self._stmts(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self._stmts(stmt.body)
+            for handler in stmt.handlers:
+                self._stmts(handler.body)
+            self._stmts(stmt.orelse)
+            self._stmts(stmt.finalbody)
+            return
+        # Everything else: record effects of any contained expressions.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._effects(child)
+
+    def _returned_shape(self, value: ast.expr, ref: _Ref) -> object:
+        """Summarize a returned family for call-site substitution."""
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "spawn"
+            and isinstance(value.func.value, ast.Name)
+            and value.func.value.id in self._params
+        ):
+            name = _name_repr(value.args[0] if value.args else None)
+            return ("spawnofparam", value.func.value.id, name)
+        return ref
+
+    def _assign(
+        self, target: ast.expr, value: ast.expr, stmt: ast.stmt
+    ) -> None:
+        ref = self.family_of(value)
+        self._check_cycle(target, value, stmt)
+        if isinstance(target, ast.Name):
+            if ref is not None:
+                self.summary.bindings[target.id] = ref
+            else:
+                self.summary.bindings.pop(target.id, None)
+
+    def _check_cycle(
+        self, target: ast.expr, value: ast.expr, stmt: ast.stmt
+    ) -> None:
+        """RPR102: family re-derived from itself."""
+        base = _spawn_base(value)
+        if base is None:
+            # One-hop helper: ``s = derive(s)`` where derive returns
+            # ``param.spawn(...)``.
+            if isinstance(value, ast.Call):
+                for callee in self.program.call_targets(self.fn, value):
+                    returned = self.owner.callee_returns(callee)
+                    if (
+                        isinstance(returned, tuple)
+                        and returned
+                        and returned[0] == "spawnofparam"
+                    ):
+                        for param, arg in self.program.bind_arguments(
+                            self.fn, value, callee
+                        ):
+                            if param == returned[1]:
+                                base = arg
+                                break
+            if base is None:
+                return
+        same = False
+        if isinstance(target, ast.Name) and isinstance(base, ast.Name):
+            same = target.id == base.id
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(base, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and isinstance(base.value, ast.Name)
+        ):
+            same = (
+                target.value.id == base.value.id == "self"
+                and target.attr == base.attr
+            )
+        if not same:
+            return
+        label = ast.unparse(target)
+        if self.loop_depth > 0:
+            self.summary.cycles.append(
+                (
+                    stmt,
+                    f"derivation cycle: {label!r} is re-spawned from "
+                    "itself inside a loop, so every substream derived "
+                    "from it depends on the iteration count",
+                )
+            )
+        elif (
+            isinstance(target, ast.Attribute)
+            and self._owner_class() is not None
+            and self.fn.name not in ("__init__", "__new__")
+        ):
+            self.summary.cycles.append(
+                (
+                    stmt,
+                    f"derivation cycle: {label!r} is re-spawned from "
+                    f"itself in {self.fn.qualname}(), which can run more "
+                    "than once per instance — substream identity then "
+                    "depends on call order",
+                )
+            )
+
+
+def _spawn_base(value: ast.expr) -> Optional[ast.expr]:
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Attribute)
+        and value.func.attr == "spawn"
+    ):
+        return value.func.value
+    return None
+
+
+def _suppressed(fn: FunctionInfo, node: ast.AST, code: str) -> bool:
+    codes = fn.module.suppressions.get(getattr(node, "lineno", 0))
+    return bool(codes) and ("all" in codes or code in codes)
+
+
+def analyze_rng(program: Program) -> List[Finding]:
+    """Run the provenance pass; returns RPR101 + RPR102 findings."""
+    rng_pass = _RngPass(program)
+    for fn in program.sorted_functions():
+        rng_pass.summary(fn)
+
+    # -- interprocedural propagation: concrete families into parameters.
+    param_values: Dict[Tuple[str, str], Dict[Tuple, Tuple[TraceStep, ...]]]
+    param_values = {}
+    worklist: List[Tuple[str, str, Tuple, Tuple[TraceStep, ...]]] = []
+
+    def offer(
+        callee: FunctionInfo,
+        param: str,
+        key: Tuple,
+        chain: Tuple[TraceStep, ...],
+    ) -> None:
+        slot = param_values.setdefault((callee.id, param), {})
+        if key in slot:
+            return
+        slot[key] = chain[-_MAX_CHAIN:]
+        worklist.append((callee.id, param, key, slot[key]))
+
+    for fn in program.sorted_functions():
+        summary = rng_pass.summaries[fn.id]
+        for callee, param, ref, call in summary.passes:
+            if ref.kind == "concrete":
+                step = _step(
+                    fn, call, f"passed to {callee.qualname}({param}=...)"
+                )
+                offer(callee, param, ref.key, ref.chain + (step,))
+            elif ref.kind == "attr":
+                scanner = _Scanner(rng_pass, fn, summary)
+                key = scanner._key_of(ref)
+                step = _step(
+                    fn, call, f"passed to {callee.qualname}({param}=...)"
+                )
+                offer(callee, param, key, (step,))
+
+    while worklist:
+        fn_id, param, key, chain = worklist.pop()
+        fn = program.functions.get(fn_id)
+        if fn is None or len(chain) >= _MAX_CHAIN:
+            continue
+        summary = rng_pass.summaries[fn_id]
+        for callee, callee_param, ref, call in summary.passes:
+            if ref.kind == "param" and ref.param == param:
+                step = _step(
+                    fn,
+                    call,
+                    f"forwarded to {callee.qualname}({callee_param}=...)",
+                )
+                offer(callee, callee_param, key, chain + (step,))
+
+    # -- expand draws into (key, name) groups.
+    groups: Dict[
+        Tuple[Tuple, str],
+        Dict[Tuple[str, int], Tuple[FunctionInfo, ast.AST, Tuple]],
+    ] = {}
+
+    def record(
+        key: Tuple,
+        name: str,
+        fn: FunctionInfo,
+        node: ast.AST,
+        chain: Tuple[TraceStep, ...],
+    ) -> None:
+        site = (fn.path, getattr(node, "lineno", fn.lineno))
+        groups.setdefault((key, name), {}).setdefault(
+            site, (fn, node, chain)
+        )
+
+    findings: List[Finding] = []
+    for fn in program.sorted_functions():
+        summary = rng_pass.summaries[fn.id]
+        for node, message in summary.cycles:
+            if _suppressed(fn, node, "RPR102"):
+                continue
+            findings.append(
+                Finding(
+                    path=fn.path,
+                    line=getattr(node, "lineno", fn.lineno),
+                    col=getattr(node, "col_offset", 0),
+                    code="RPR102",
+                    rule="rng-derivation-cycle",
+                    severity="error",
+                    message=message,
+                    trace=(
+                        _step(fn, node, f"in {fn.qualname}"),
+                    ),
+                )
+            )
+        for ref, name, is_const, node in summary.draws:
+            if not is_const:
+                continue  # dynamic substream names cannot be aliased
+            if _suppressed(fn, node, "RPR101"):
+                continue
+            draw_step = _step(
+                fn, node, f"substream {name} drawn in {fn.qualname}"
+            )
+            if ref.kind == "concrete":
+                record(ref.key, name, fn, node, ref.chain + (draw_step,))
+            elif ref.kind == "param":
+                for key, chain in sorted(
+                    param_values.get((fn.id, ref.param), {}).items(),
+                    key=lambda item: repr(item[0]),
+                ):
+                    record(key, name, fn, node, chain + (draw_step,))
+            else:  # self.<attr>
+                scanner = _Scanner(rng_pass, fn, summary)
+                cls = scanner._owner_class()
+                key = scanner._key_of(ref)
+                chain: Tuple[TraceStep, ...] = ()
+                if cls is not None:
+                    assign = program.attr_assignment(cls, ref.attr or "")
+                    if assign is not None:
+                        owner, assign_node = assign
+                        chain = (
+                            _step(
+                                owner,
+                                assign_node,
+                                f"family bound to self.{ref.attr} in "
+                                f"{owner.qualname}",
+                            ),
+                        )
+                record(key, name, fn, node, chain + (draw_step,))
+
+    for (key, name) in sorted(groups, key=lambda item: repr(item)):
+        sites = groups[(key, name)]
+        if len(sites) < 2:
+            continue
+        ordered = sorted(sites)
+        anchor_fn, anchor_node, anchor_chain = sites[ordered[0]]
+        site_list = ", ".join(f"{path}:{line}" for path, line in ordered)
+        trace: List[TraceStep] = list(anchor_chain)
+        for site in ordered[1:]:
+            other_fn, other_node, _ = sites[site]
+            trace.append(
+                _step(
+                    other_fn,
+                    other_node,
+                    f"also drawn in {other_fn.qualname}",
+                )
+            )
+        findings.append(
+            Finding(
+                path=anchor_fn.path,
+                line=getattr(anchor_node, "lineno", anchor_fn.lineno),
+                col=getattr(anchor_node, "col_offset", 0),
+                code="RPR101",
+                rule="substream-aliasing",
+                severity="error",
+                message=(
+                    f"substream {name} of one RngStreams family is drawn "
+                    f"at {len(ordered)} independent sites ({site_list}); "
+                    "components sharing a substream are order-coupled — "
+                    "derive one named substream per consumer"
+                ),
+                trace=tuple(trace),
+            )
+        )
+    findings.sort(key=Finding.sort_key)
+    return findings

@@ -18,7 +18,6 @@ so every exemption is visible next to the code it exempts.
 
 from __future__ import annotations
 
-import ast
 import io
 import os
 import re
@@ -105,6 +104,38 @@ def _is_suppressed(
     return "all" in codes or finding.code in codes
 
 
+def _parse_error_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        code=PARSE_ERROR_CODE,
+        rule="parse-error",
+        severity="error",
+        message=f"file does not parse: {exc.msg}",
+    )
+
+
+def _check_rules(
+    ctx: FileContext,
+    suppressions: Dict[int, Set[str]],
+    codes: Optional[Iterable[str]],
+) -> List[Finding]:
+    wanted = set(codes) if codes is not None else None
+    findings: List[Finding] = []
+    for code in sorted(RULES):
+        if wanted is not None and code not in wanted:
+            continue
+        rule = RULES[code]()
+        if not rule.applies(ctx.path):
+            continue
+        for finding in rule.check(ctx):
+            if not _is_suppressed(finding, suppressions):
+                findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -115,44 +146,43 @@ def lint_source(
     ``codes`` restricts the run to a subset of rule codes (used by the
     fixture tests); default is every registered rule.
     """
+    from repro.lint import astcache
+
     path = normalize_path(path)
     try:
-        tree = ast.parse(source)
+        _, tree = astcache.parse_source(source)
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                code=PARSE_ERROR_CODE,
-                rule="parse-error",
-                severity="error",
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
+        return [_parse_error_finding(path, exc)]
     ctx = FileContext(path, source, tree)
     suppressions = collect_suppressions(source)
-    wanted = set(codes) if codes is not None else None
-    findings: List[Finding] = []
-    for code in sorted(RULES):
-        if wanted is not None and code not in wanted:
-            continue
-        rule = RULES[code]()
-        if not rule.applies(path):
-            continue
-        for finding in rule.check(ctx):
-            if not _is_suppressed(finding, suppressions):
-                findings.append(finding)
-    findings.sort(key=Finding.sort_key)
-    return findings
+    return _check_rules(ctx, suppressions, codes)
 
 
 def lint_file(
     path: str, codes: Optional[Iterable[str]] = None
 ) -> List[Finding]:
-    with open(path, encoding="utf-8") as handle:
-        source = handle.read()
-    return lint_source(source, path=path, codes=codes)
+    """Lint one file through the content-hash AST cache.
+
+    Within a process the file is parsed once per content digest, and
+    the derived import tables / parent map / suppression table are
+    shared with the deep pass (see :mod:`repro.lint.astcache`).
+    """
+    from repro.lint import astcache
+
+    try:
+        parsed = astcache.load(path)
+    except SyntaxError as exc:
+        return [_parse_error_finding(normalize_path(path), exc)]
+    # Findings for the full rule set depend only on path + content, so
+    # they ride in the cache entry; a restricted ``codes`` run (fixture
+    # tests) recomputes.
+    if codes is None:
+        if parsed.findings is None:
+            parsed.findings = tuple(
+                _check_rules(parsed.ctx, parsed.suppressions, None)
+            )
+        return list(parsed.findings)
+    return _check_rules(parsed.ctx, parsed.suppressions, codes)
 
 
 def lint_paths(

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Tuple
 
 #: Recognised severity levels, most severe first.  Both levels gate the
@@ -12,8 +12,30 @@ SEVERITIES = ("error", "warning")
 
 
 @dataclass(frozen=True)
+class TraceStep:
+    """One hop of an interprocedural source-to-sink chain."""
+
+    path: str
+    line: int
+    note: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"path": self.path, "line": self.line, "note": self.note}
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.note}"
+
+
+@dataclass(frozen=True)
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    Line-local rules leave ``trace`` empty; the whole-program analyses
+    (``repro lint --deep``) attach the call chain from source to sink —
+    injection point to draw site for RPR101, root cell/solver to impure
+    read for RPR104 — so a finding is actionable without re-running the
+    analysis in one's head.
+    """
 
     path: str  #: posix-normalised, repo-relative where possible
     line: int  #: 1-based
@@ -22,12 +44,13 @@ class Finding:
     rule: str  #: short kebab-case rule name
     severity: str  #: one of SEVERITIES
     message: str
+    trace: Tuple[TraceStep, ...] = field(default=())
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.code)
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -36,9 +59,18 @@ class Finding:
             "severity": self.severity,
             "message": self.message,
         }
+        # Backwards-compatible payload: line-local findings keep the
+        # historical seven-key shape pinned by tests/lint/test_cli_lint.
+        if self.trace:
+            payload["trace"] = [step.as_dict() for step in self.trace]
+        return payload
 
     def render(self) -> str:
-        return (
+        head = (
             f"{self.path}:{self.line}:{self.col}: "
             f"{self.code} [{self.severity}] {self.message}"
         )
+        if not self.trace:
+            return head
+        steps = "\n".join(f"    via {step.render()}" for step in self.trace)
+        return f"{head}\n{steps}"

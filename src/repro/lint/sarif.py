@@ -1,0 +1,129 @@
+"""SARIF 2.1.0 (subset) emission for ``repro lint --format sarif``.
+
+SARIF is the interchange format CI forges ingest for code-scanning
+annotations.  This emitter produces the minimal conforming subset the
+repo needs — one run, one driver, the rule table, and one result per
+finding — and nothing environment-dependent: no timestamps, no
+absolute paths, no tool invocation block.  The output is therefore
+**byte-identical across runs** on the same findings, which CI asserts
+(two SARIF passes over the fixture tree must diff clean).
+
+Interprocedural findings (the deep pass's RPR1xx) carry their
+source-to-sink chain as a ``codeFlow`` with a single ``threadFlow``,
+one location per :class:`~repro.lint.findings.TraceStep` — the shape
+viewers render as a stepable path.
+
+The emitted document validates against the checked-in subset schema
+``docs/sarif.schema.json`` (see ``tests/lint/deep/test_sarif.py``),
+the same arrangement used for trace exports (``docs/trace.schema.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+__all__ = ["sarif_document", "sarif_json"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: SARIF ``level`` per repro-lint severity.
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_table() -> List[Tuple[str, str, str, str]]:
+    """(code, name, severity, description) for every known rule code."""
+    from repro.lint.deep.engine import DEEP_CODES
+    from repro.lint.rules import RULES
+
+    rows: List[Tuple[str, str, str, str]] = []
+    for code in sorted(RULES):
+        rule = RULES[code]
+        doc = (rule.__doc__ or "").strip().splitlines()
+        description = doc[0].strip() if doc else rule.name
+        rows.append((code, rule.name, rule.severity, description))
+    for code in sorted(DEEP_CODES):
+        name, severity, description = DEEP_CODES[code]
+        rows.append((code, name, severity, description))
+    rows.sort()
+    return rows
+
+
+def _location(path: str, line: int, col: int) -> Dict[str, Any]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": {
+                "startLine": max(line, 1),
+                "startColumn": col + 1,  # SARIF columns are 1-based
+            },
+        }
+    }
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.code,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [_location(finding.path, finding.line, finding.col)],
+    }
+    if finding.trace:
+        result["codeFlows"] = [
+            {
+                "threadFlows": [
+                    {
+                        "locations": [
+                            {
+                                "location": {
+                                    **_location(step.path, step.line, 0),
+                                    "message": {"text": step.note},
+                                }
+                            }
+                            for step in finding.trace
+                        ]
+                    }
+                ]
+            }
+        ]
+    return result
+
+
+def sarif_document(findings: Sequence[Finding]) -> Dict[str, Any]:
+    """The findings as one SARIF run (a plain dict, ready to dump)."""
+    rules = [
+        {
+            "id": code,
+            "name": name,
+            "shortDescription": {"text": description},
+            "defaultConfiguration": {"level": _LEVELS.get(severity, "warning")},
+        }
+        for code, name, severity, description in _rule_table()
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/LINT.md",
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _result(finding)
+                    for finding in sorted(findings, key=Finding.sort_key)
+                ],
+            }
+        ],
+    }
+
+
+def sarif_json(findings: Iterable[Finding]) -> str:
+    """Deterministic serialized form (stable key order, no timestamps)."""
+    return json.dumps(sarif_document(list(findings)), indent=1) + "\n"

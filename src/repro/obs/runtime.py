@@ -68,7 +68,9 @@ def install_tracer(tracer) -> None:
     recorders), so install it *before* building the model to trace.
     """
     global _tracer
-    _tracer = tracer
+    # Ambient by design: tracing() saves and restores this slot around
+    # every scoped use, and a cell's trace rides in its cached meta.
+    _tracer = tracer  # repro-lint: disable=RPR104
 
 
 def uninstall_tracer() -> None:
@@ -219,7 +221,9 @@ def cell_context() -> Iterator[CellContext]:
 def note_events(count: int) -> None:
     """Credit ``count`` processed kernel events to the active cell."""
     if _cell is not None and count:
-        _cell.events += count
+        # Accounting, not input: this feeds the cell's telemetry meta,
+        # which the cache stores and replays alongside the result.
+        _cell.events += count  # repro-lint: disable=RPR104
 
 
 def note_rng_stream(stream_id: str) -> None:
@@ -239,7 +243,9 @@ def next_session_label() -> str:
     if _cell is not None:
         return f"s{_cell.next_session_id()}"
     sid = _global_session_counter
-    _global_session_counter = sid + 1
+    # Fallback branch only: under a cell context (every cacheable run)
+    # the guarded branch above numbers from per-cell state instead.
+    _global_session_counter = sid + 1  # repro-lint: disable=RPR104
     return f"s{sid}"
 
 
@@ -255,5 +261,7 @@ def next_trace_label(prefix: str) -> str:
     if _cell is not None:
         return f"{prefix}{_cell.next_label_id(prefix)}"
     n = _global_label_counters.get(prefix, 0)
-    _global_label_counters[prefix] = n + 1
+    # Fallback branch only: cacheable runs always execute under a cell
+    # context, whose per-prefix numbering restarts deterministically.
+    _global_label_counters[prefix] = n + 1  # repro-lint: disable=RPR104
     return f"{prefix}{n}"

@@ -1,0 +1,1 @@
+"""RPR101 positive fixture: interprocedural substream aliasing."""

@@ -1,0 +1,22 @@
+"""One family, two independent draws of the same substream.
+
+``Model.step`` draws ``self.rng["loss"]`` directly and also hands the
+whole family to :func:`consume`, which draws ``"loss"`` again — the
+two sites are order-coupled through one generator sequence.
+"""
+
+from repro.des.rng import RngStreams
+
+
+def consume(streams):
+    return streams["loss"].random()
+
+
+class Model:
+    def __init__(self, seed):
+        self.rng = RngStreams(seed)
+
+    def step(self):
+        direct = self.rng["loss"].random()
+        routed = consume(self.rng)
+        return direct + routed

@@ -1,0 +1,22 @@
+"""The same aliasing shape, silenced at one draw site.
+
+With one of the two sites suppressed the group collapses to a single
+draw, so no RPR101 finding is emitted for this module.
+"""
+
+from repro.des.rng import RngStreams
+
+
+def audit(streams):
+    # Intentional re-draw for a paired audit log; order-coupling is the
+    # point here, not an accident.
+    return streams["audit"].random()  # repro-lint: disable=RPR101
+
+
+class Audited:
+    def __init__(self, seed):
+        self.rng = RngStreams(seed)
+
+    def step(self):
+        value = self.rng["audit"].random()
+        return value + audit(self.rng)

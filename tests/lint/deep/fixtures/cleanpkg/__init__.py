@@ -1,0 +1,1 @@
+"""Negative fixture: disciplined per-consumer substreams, no findings."""

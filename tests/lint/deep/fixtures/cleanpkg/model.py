@@ -1,0 +1,17 @@
+"""The blessed pattern: one named substream (or child family) per consumer."""
+
+from repro.des.rng import RngStreams
+
+
+def consume(streams):
+    return streams["loss"].random()
+
+
+class Model:
+    def __init__(self, seed):
+        self.rng = RngStreams(seed)
+
+    def step(self):
+        service = self.rng["service"].random()
+        loss = consume(self.rng.spawn("link"))
+        return service + loss

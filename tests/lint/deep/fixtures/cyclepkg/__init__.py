@@ -1,0 +1,1 @@
+"""RPR102 fixtures: families re-derived from themselves."""

@@ -1,0 +1,15 @@
+"""Positive shapes: loop-carried respawn and per-call attr respawn."""
+
+
+class Reseeder:
+    def __init__(self, streams):
+        self.streams = streams
+
+    def rounds(self, n):
+        s = self.streams
+        for _ in range(n):
+            s = s.spawn("round")
+        return s
+
+    def rotate(self):
+        self.streams = self.streams.spawn("epoch")

@@ -1,0 +1,11 @@
+"""Negative shapes: fresh names for children, init-time derivation."""
+
+
+class Forked:
+    def __init__(self, streams):
+        # Deriving a child family once, at construction, is the
+        # intended use: stable name -> stable stream.
+        self.streams = streams.spawn("forked")
+
+    def children(self, names):
+        return [self.streams.spawn(name) for name in names]

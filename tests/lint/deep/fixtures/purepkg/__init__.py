@@ -1,0 +1,1 @@
+"""RPR104 fixtures: cache roots reading outside their keys."""

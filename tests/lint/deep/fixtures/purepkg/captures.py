@@ -1,0 +1,11 @@
+"""A memoized closure capturing enclosing state: invisible to the key."""
+
+from repro.cache.memo import memoize
+
+
+def make_solver(scale):
+    @memoize()
+    def solve(x):
+        return x * scale
+
+    return solve

@@ -1,0 +1,12 @@
+"""A cacheable cell that reads a file the cache key never sees."""
+
+from repro.experiments.runner import map_cells
+
+
+def _cell(path):
+    with open(path) as handle:
+        return len(handle.read())
+
+
+def run(paths):
+    return map_cells(_cell, [{"path": p} for p in paths])

@@ -1,0 +1,15 @@
+"""Negative: a pure memoized solver reading only its parameters."""
+
+import math
+
+from repro.cache.memo import memoize
+
+
+def _erlang(rho, servers):
+    return (rho ** servers) / math.factorial(servers)
+
+
+@memoize()
+def blocking(rho, servers):
+    total = sum(_erlang(rho, k) for k in range(servers + 1))
+    return _erlang(rho, servers) / total

@@ -1,0 +1,14 @@
+"""A memoized solver leaning on mutable module state."""
+
+from repro.cache.memo import memoize
+
+_CALLS = {}
+_LAST = 0.0
+
+
+@memoize()
+def tally(rho):
+    global _LAST
+    _CALLS.setdefault("tally", 0)
+    _LAST = rho
+    return rho * 2.0

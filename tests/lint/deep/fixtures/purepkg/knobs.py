@@ -1,0 +1,18 @@
+"""A memoized solver whose helper reads os.environ two calls deep."""
+
+import os
+
+from repro.cache.memo import memoize
+
+
+def scale_knob():
+    return float(os.environ.get("PURE_SCALE", "1.0"))
+
+
+def scaled(value):
+    return value * scale_knob()
+
+
+@memoize()
+def solve(rho):
+    return scaled(rho)

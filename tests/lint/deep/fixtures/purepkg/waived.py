@@ -1,0 +1,18 @@
+"""An intentional escape, justified and suppressed at the sink."""
+
+import os
+
+from repro.cache.memo import memoize
+
+
+def debug_enabled():
+    # Debug flag only alters logging, never the returned value, so it
+    # is deliberately outside the cache key.
+    return bool(os.environ.get("PURE_DEBUG"))  # repro-lint: disable=RPR104
+
+
+@memoize()
+def solve(rho):
+    if debug_enabled():
+        pass
+    return rho * 0.5

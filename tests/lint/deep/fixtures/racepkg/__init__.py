@@ -1,0 +1,1 @@
+"""RPR103 fixtures: same-time-capable generators with shared writes."""

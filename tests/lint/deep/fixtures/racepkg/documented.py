@@ -1,0 +1,24 @@
+"""The pair shape with a documented tie-break: suppressed at a spawn."""
+
+
+class Ordered:
+    def __init__(self, env):
+        self.env = env
+        self.pending = []
+
+    def start(self):
+        # Tie-break is documented: the producer is registered first, so
+        # at equal instants it runs first (kernel FIFO within a time).
+        self.env.process(self.producer())  # repro-lint: disable=RPR103
+        self.env.process(self.drainer())
+
+    def producer(self):
+        while True:
+            yield self.env.timeout(0)
+            self.pending.append(1)
+
+    def drainer(self):
+        while True:
+            yield self.env.timeout(0)
+            if self.pending:
+                self.pending.pop()

@@ -1,0 +1,17 @@
+"""A worker generator spawned per loop iteration, sharing instance state."""
+
+
+class Fanout:
+    def __init__(self, env, count):
+        self.env = env
+        self.count = count
+        self.delivered = {}
+
+    def start(self):
+        for index in range(self.count):
+            self.env.process(self.worker(index))
+
+    def worker(self, index):
+        while True:
+            yield self.env.timeout(0)
+            self.delivered[index] = True

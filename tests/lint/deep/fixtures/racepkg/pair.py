@@ -1,0 +1,25 @@
+"""Two generators on one instance, both timeout(0), overlapping writes."""
+
+
+class Node:
+    def __init__(self, env):
+        self.env = env
+        self.inbox = []
+        self.seen = 0
+
+    def start(self):
+        self.env.process(self.producer())
+        self.env.process(self.drainer())
+
+    def producer(self):
+        while True:
+            yield self.env.timeout(0)
+            self.inbox.append(1)
+            self.seen += 1
+
+    def drainer(self):
+        while True:
+            yield self.env.timeout(0)
+            if self.inbox:
+                self.inbox.pop()
+            self.seen += 1

@@ -1,0 +1,21 @@
+"""Negative: generators share writes but can never collide in time."""
+
+
+class Staggered:
+    def __init__(self, env):
+        self.env = env
+        self.log = []
+
+    def start(self):
+        self.env.process(self.fast())
+        self.env.process(self.slow())
+
+    def fast(self):
+        while True:
+            yield self.env.timeout(1.0)
+            self.log.append("fast")
+
+    def slow(self):
+        while True:
+            yield self.env.timeout(3.0)
+            self.log.append("slow")

@@ -1,0 +1,173 @@
+"""CLI contract for --deep: gating, baseline section, diff, key order."""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.cli import main as repro_main
+
+#: Shallow-clean module with a deep-only hazard (substream aliasing).
+DEEP_HAZARD = textwrap.dedent(
+    '''\
+    from repro.des.rng import RngStreams
+
+
+    def draw_a(streams):
+        return streams["x"].random()
+
+
+    def draw_b(streams):
+        return streams["x"].random()
+
+
+    def run(seed):
+        streams = RngStreams(seed)
+        return draw_a(streams) + draw_b(streams)
+    '''
+)
+
+
+@pytest.fixture()
+def project(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "hazard.py").write_text(DEEP_HAZARD)
+    return tmp_path
+
+
+def test_deep_hazard_invisible_without_deep_flag(project, capsys):
+    assert repro_main(["lint", "hazard.py"]) == 0
+    capsys.readouterr()
+    assert repro_main(["lint", "hazard.py", "--deep"]) == 1
+    out = capsys.readouterr().out
+    assert "RPR101" in out
+    assert "via " in out  # the interprocedural chain is rendered
+
+
+def test_deep_findings_in_json_carry_a_trace(project, capsys):
+    assert repro_main(
+        ["lint", "hazard.py", "--deep", "--format", "json"]
+    ) == 1
+    payload = json.loads(capsys.readouterr().out)
+    (finding,) = payload["findings"]
+    assert finding["code"] == "RPR101"
+    assert finding["trace"]
+    for step in finding["trace"]:
+        assert set(step) == {"path", "line", "note"}
+
+
+def test_deep_baseline_section_gates_and_goes_stale(project, capsys):
+    assert repro_main(
+        ["lint", "hazard.py", "--deep", "--write-baseline", "bl.json"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "wrote 1 finding(s) to bl.json" in out
+    assert "RPR101: +1 -0" in out
+
+    payload = json.loads((project / "bl.json").read_text())
+    assert payload["findings"] == []
+    assert [e["code"] for e in payload["deep"]] == ["RPR101"]
+
+    # Grandfathered under --deep.
+    assert repro_main(
+        ["lint", "hazard.py", "--deep", "--baseline", "bl.json"]
+    ) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # Fixing the hazard makes the deep entry stale: the run fails.
+    (project / "hazard.py").write_text("VALUE = 1\n")
+    assert repro_main(
+        ["lint", "hazard.py", "--deep", "--baseline", "bl.json"]
+    ) == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_deep_entries_do_not_grandfather_without_deep_flag(project, capsys):
+    repro_main(
+        ["lint", "hazard.py", "--deep", "--write-baseline", "bl.json"]
+    )
+    capsys.readouterr()
+    # Without --deep the deep section is simply not consulted: the run
+    # is clean (no deep findings computed) and nothing goes stale.
+    assert repro_main(["lint", "hazard.py", "--baseline", "bl.json"]) == 0
+
+
+def test_write_baseline_preserves_existing_key_order(project, capsys):
+    # A baseline with a non-default top-level key order round-trips
+    # with that order intact.
+    (project / "bl.json").write_text(
+        json.dumps(
+            {"findings": [], "deep": [], "version": 1},
+        )
+    )
+    assert repro_main(
+        ["lint", "hazard.py", "--deep", "--write-baseline", "bl.json"]
+    ) == 0
+    capsys.readouterr()
+    keys = list(
+        json.loads(
+            (project / "bl.json").read_text(),
+        )
+    )
+    assert keys == ["findings", "deep", "version"]
+
+
+def test_write_baseline_diff_reports_removals(project, capsys):
+    repro_main(
+        ["lint", "hazard.py", "--deep", "--write-baseline", "bl.json"]
+    )
+    capsys.readouterr()
+    (project / "hazard.py").write_text("VALUE = 1\n")
+    assert repro_main(
+        ["lint", "hazard.py", "--deep", "--write-baseline", "bl.json"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "wrote 0 finding(s) to bl.json" in out
+    assert "RPR101: +0 -1" in out
+
+
+def test_no_op_rewrite_reports_unchanged(project, capsys):
+    repro_main(
+        ["lint", "hazard.py", "--deep", "--write-baseline", "bl.json"]
+    )
+    capsys.readouterr()
+    before = (project / "bl.json").read_text()
+    assert repro_main(
+        ["lint", "hazard.py", "--deep", "--write-baseline", "bl.json"]
+    ) == 0
+    assert "baseline unchanged" in capsys.readouterr().out
+    assert (project / "bl.json").read_text() == before
+
+
+def test_every_deep_code_is_documented():
+    from repro.lint.deep import DEEP_CODES
+
+    root = os.path.join(os.path.dirname(__file__), "..", "..", "..")
+    with open(os.path.join(root, "docs", "LINT.md"), encoding="utf-8") as f:
+        catalogue = f.read()
+    for code in DEEP_CODES:
+        assert code in catalogue, f"{code} missing from docs/LINT.md"
+
+
+def test_repo_tree_deep_lints_clean_against_checked_in_baseline():
+    """The acceptance gate: the deep pass runs clean on the repo with an
+    empty deep baseline section."""
+    root = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "..", "..")
+    )
+    cwd = os.getcwd()
+    os.chdir(root)
+    try:
+        code = repro_main(
+            ["lint", "src", "benchmarks", "examples", "--deep",
+             "--baseline", "lint-baseline.json"]
+        )
+        payload = json.load(open("lint-baseline.json", encoding="utf-8"))
+    finally:
+        os.chdir(cwd)
+    assert code == 0
+    assert payload["deep"] == []
+    assert payload["findings"] == []

@@ -1,0 +1,170 @@
+"""Program model: module naming, dependency edges, call resolution."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.deep.graph import build_program, module_name_for
+
+
+def _write_pkg(tmp_path, files):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text('"""pkg."""\n')
+    for name, source in files.items():
+        (pkg / name).write_text(textwrap.dedent(source))
+    return pkg
+
+
+def test_module_name_climbs_the_package_chain(tmp_path):
+    pkg = _write_pkg(tmp_path, {"mod.py": "X = 1\n"})
+    assert module_name_for(str(pkg / "mod.py")) == "pkg.mod"
+    assert module_name_for(str(pkg / "__init__.py")) == "pkg"
+    loose = tmp_path / "loose.py"
+    loose.write_text("Y = 2\n")
+    assert module_name_for(str(loose)) == "loose"
+
+
+def test_dependency_edges_cover_in_program_imports_only(tmp_path):
+    _write_pkg(
+        tmp_path,
+        {
+            "a.py": """
+                import os
+
+                from pkg import b
+            """,
+            "b.py": """
+                from pkg.c import helper
+            """,
+            "c.py": """
+                def helper():
+                    return 1
+            """,
+        },
+    )
+    program = build_program([str(tmp_path)])
+    # ``from pkg import b`` records both the package and the submodule;
+    # the stdlib import (os) is out of program scope and never appears.
+    assert program.modules["pkg.a"].deps == {"pkg", "pkg.b"}
+    assert program.modules["pkg.b"].deps == {"pkg.c"}
+    assert program.modules["pkg.c"].deps == set()
+
+
+def test_call_graph_resolves_functions_methods_and_constructors(tmp_path):
+    _write_pkg(
+        tmp_path,
+        {
+            "lib.py": """
+                def helper():
+                    return 1
+
+
+                class Engine:
+                    def __init__(self):
+                        self.state = 0
+
+                    def advance(self):
+                        return helper()
+            """,
+            "app.py": """
+                from pkg.lib import Engine, helper
+
+
+                def run():
+                    engine = Engine()
+                    engine.advance()
+                    return helper()
+            """,
+        },
+    )
+    program = build_program([str(tmp_path)])
+    run = program.modules["pkg.app"].functions["run"]
+    callees = {target.id for target, _ in program.callees(run)}
+    assert callees == {
+        "pkg.lib:Engine.__init__",
+        "pkg.lib:Engine.advance",
+        "pkg.lib:helper",
+    }
+
+
+def test_self_method_resolution_follows_the_mro(tmp_path):
+    _write_pkg(
+        tmp_path,
+        {
+            "base.py": """
+                class Base:
+                    def hook(self):
+                        return 0
+            """,
+            "sub.py": """
+                from pkg.base import Base
+
+
+                class Sub(Base):
+                    def run(self):
+                        return self.hook()
+            """,
+        },
+    )
+    program = build_program([str(tmp_path)])
+    run = program.modules["pkg.sub"].functions["Sub.run"]
+    callees = {target.id for target, _ in program.callees(run)}
+    assert callees == {"pkg.base:Base.hook"}
+
+
+def test_bind_arguments_maps_positional_and_keyword(tmp_path):
+    _write_pkg(
+        tmp_path,
+        {
+            "m.py": """
+                def callee(alpha, beta, gamma=None):
+                    return alpha
+
+
+                def caller():
+                    return callee(1, gamma=3, beta=2)
+            """,
+        },
+    )
+    program = build_program([str(tmp_path)])
+    caller = program.modules["pkg.m"].functions["caller"]
+    ((callee, call),) = [
+        edge for edge in program.callees(caller)
+    ]
+    bound = dict(
+        (name, node.value)
+        for name, node in program.bind_arguments(caller, call, callee)
+    )
+    assert bound == {"alpha": 1, "beta": 2, "gamma": 3}
+
+
+def test_generator_flag_and_attr_type_inference(tmp_path):
+    _write_pkg(
+        tmp_path,
+        {
+            "m.py": """
+                class Channel:
+                    def send(self, item):
+                        return item
+
+
+                class Session:
+                    def __init__(self):
+                        self.chan = Channel()
+
+                    def pump(self):
+                        while True:
+                            yield self.chan.send(1)
+            """,
+        },
+    )
+    program = build_program([str(tmp_path)])
+    module = program.modules["pkg.m"]
+    assert module.functions["Session.pump"].is_generator
+    assert not module.functions["Channel.send"].is_generator
+    session = module.classes["Session"]
+    assert session.attr_types["chan"].qualname == "Channel"
+    pump = module.functions["Session.pump"]
+    callees = {target.id for target, _ in program.callees(pump)}
+    assert callees == {"pkg.m:Channel.send"}

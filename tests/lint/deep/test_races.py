@@ -1,0 +1,139 @@
+"""RPR103: pair races, loop-spawn races, documented tie-breaks."""
+
+from __future__ import annotations
+
+import os
+import textwrap
+
+from repro.lint.deep import deep_lint_paths
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def test_same_instance_pair_with_timeout_zero_is_flagged():
+    findings = deep_lint_paths(
+        [os.path.join(FIXTURES, "racepkg", "pair.py")]
+    )
+    (finding,) = findings
+    assert finding.code == "RPR103"
+    assert finding.severity == "warning"
+    assert "Node.producer" in finding.message
+    assert "Node.drainer" in finding.message
+    assert "registration order" in finding.message
+    notes = " | ".join(step.note for step in finding.trace)
+    assert "timeout(0)" in notes
+    assert "self.inbox" in notes or "self.seen" in notes
+
+
+def test_loop_spawned_generator_sharing_state_is_flagged():
+    findings = deep_lint_paths(
+        [os.path.join(FIXTURES, "racepkg", "loops.py")]
+    )
+    (finding,) = findings
+    assert finding.code == "RPR103"
+    assert "per loop iteration" in finding.message
+    assert "Fanout.worker" in finding.message
+
+
+def test_documented_tie_break_suppresses_the_pair():
+    findings = deep_lint_paths(
+        [os.path.join(FIXTURES, "racepkg", "documented.py")]
+    )
+    assert findings == []
+
+
+def test_staggered_instants_never_collide():
+    findings = deep_lint_paths(
+        [os.path.join(FIXTURES, "racepkg", "staggered.py")]
+    )
+    assert findings == []
+
+
+def test_timeout_at_same_expression_collides(tmp_path):
+    source = textwrap.dedent(
+        '''\
+        class Sync:
+            def __init__(self, env, deadline):
+                self.env = env
+                self.deadline = deadline
+                self.results = []
+
+            def start(self):
+                self.env.process(self.left())
+                self.env.process(self.right())
+
+            def left(self):
+                yield self.env.timeout_at(self.deadline)
+                self.results.append("left")
+
+            def right(self):
+                yield self.env.timeout_at(self.deadline)
+                self.results.append("right")
+        '''
+    )
+    target = tmp_path / "sync.py"
+    target.write_text(source)
+    findings = deep_lint_paths([str(target)])
+    (finding,) = findings
+    assert finding.code == "RPR103"
+    assert "timeout_at" in " ".join(s.note for s in finding.trace)
+
+
+def test_timeout_many_collides_with_any_instant(tmp_path):
+    source = textwrap.dedent(
+        '''\
+        class Batch:
+            def __init__(self, env):
+                self.env = env
+                self.log = []
+
+            def start(self):
+                self.env.process(self.burst())
+                self.env.process(self.ticker())
+
+            def burst(self):
+                for event in self.env.timeout_many([1.0, 1.0, 2.0]):
+                    yield event
+                    self.log.append("burst")
+
+            def ticker(self):
+                while True:
+                    yield self.env.timeout(0)
+                    self.log.append("tick")
+        '''
+    )
+    target = tmp_path / "batch.py"
+    target.write_text(source)
+    findings = deep_lint_paths([str(target)])
+    (finding,) = findings
+    assert finding.code == "RPR103"
+
+
+def test_disjoint_write_sets_are_clean(tmp_path):
+    source = textwrap.dedent(
+        '''\
+        class Split:
+            def __init__(self, env):
+                self.env = env
+                self.left_log = []
+                self.right_log = []
+
+            def start(self):
+                self.env.process(self.left())
+                self.env.process(self.right())
+
+            def left(self):
+                while True:
+                    yield self.env.timeout(0)
+                    self.left_log.append(1)
+
+            def right(self):
+                while True:
+                    yield self.env.timeout(0)
+                    self.right_log.append(1)
+        '''
+    )
+    target = tmp_path / "split.py"
+    target.write_text(source)
+    findings = deep_lint_paths([str(target)])
+    assert findings == []

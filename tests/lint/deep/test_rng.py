@@ -1,0 +1,141 @@
+"""RPR101/RPR102: fixtures, suppression, and the seeded-mutant chain."""
+
+from __future__ import annotations
+
+import os
+import textwrap
+
+from repro.lint.deep import deep_lint_paths
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def _codes(findings):
+    return [f.code for f in findings]
+
+
+def test_interprocedural_aliasing_is_flagged_once_with_both_sites():
+    findings = deep_lint_paths([os.path.join(FIXTURES, "aliaspkg")])
+    (finding,) = [f for f in findings if f.code == "RPR101"]
+    assert finding.rule == "substream-aliasing"
+    assert finding.severity == "error"
+    assert "'loss'" in finding.message
+    assert "2 independent sites" in finding.message
+    # Both draw sites are named in the trace.
+    lines = {step.line for step in finding.trace}
+    assert {12, 20} <= lines
+
+
+def test_suppressed_draw_site_collapses_the_group():
+    findings = deep_lint_paths(
+        [os.path.join(FIXTURES, "aliaspkg", "suppressed.py")]
+    )
+    assert _codes(findings) == []
+
+
+def test_per_consumer_substreams_are_clean():
+    findings = deep_lint_paths([os.path.join(FIXTURES, "cleanpkg")])
+    assert _codes(findings) == []
+
+
+def test_derivation_cycles_loop_and_attr_shapes():
+    findings = deep_lint_paths([os.path.join(FIXTURES, "cyclepkg")])
+    assert _codes(findings) == ["RPR102", "RPR102"]
+    by_line = {f.line: f for f in findings}
+    assert "inside a loop" in by_line[11].message
+    assert "call order" in by_line[15].message
+
+
+def test_fresh_child_names_are_clean():
+    findings = deep_lint_paths(
+        [os.path.join(FIXTURES, "cyclepkg", "tree.py")]
+    )
+    assert _codes(findings) == []
+
+
+MUTANT = textwrap.dedent(
+    '''\
+    from repro.des.rng import RngStreams
+
+
+    def loss_draw(streams):
+        return streams["loss"].random()
+
+
+    def build(seed):
+        rng = RngStreams(seed)
+        first = rng["loss"].random()
+        second = loss_draw(rng)
+        return first + second
+    '''
+)
+
+
+def test_seeded_aliasing_mutant_pinpoints_the_exact_chain(tmp_path):
+    """The mutation test the issue asks for: a planted substream-aliasing
+    bug must be reported with the injection-to-draw call chain, step by
+    step, not just a location."""
+    target = tmp_path / "mutant.py"
+    target.write_text(MUTANT)
+    findings = deep_lint_paths([str(target)])
+    (finding,) = [f for f in findings if f.code == "RPR101"]
+    # Anchored at the first draw site in file order.
+    assert finding.line == 5
+    chain = [(step.line, step.note) for step in finding.trace]
+    assert [line for line, _ in chain] == [9, 11, 5, 10]
+    assert "RngStreams family constructed here" in chain[0][1]
+    assert "passed to loss_draw" in chain[1][1]
+    assert "substream 'loss' drawn in loss_draw" in chain[2][1]
+    assert "also drawn in build" in chain[3][1]
+    assert "mutant.py:5" in finding.message
+    assert "mutant.py:10" in finding.message
+
+
+def test_spawned_families_with_distinct_names_stay_separate(tmp_path):
+    source = textwrap.dedent(
+        '''\
+        from repro.des.rng import RngStreams
+
+
+        def draw(streams):
+            return streams["loss"].random()
+
+
+        def build(seed):
+            rng = RngStreams(seed)
+            a = draw(rng.spawn("left"))
+            b = draw(rng.spawn("right"))
+            return a + b
+        '''
+    )
+    target = tmp_path / "split.py"
+    target.write_text(source)
+    findings = deep_lint_paths([str(target)])
+    assert _codes(findings) == []
+
+
+def test_helper_returned_families_are_keyed_per_call_site(tmp_path):
+    """Two callers of one factory get distinct runtime families; the
+    analyzer must not conflate them just because the RngStreams(...)
+    expression is one source location."""
+    source = textwrap.dedent(
+        '''\
+        from repro.des.rng import RngStreams
+
+
+        def make(seed):
+            return RngStreams(seed)
+
+
+        def first(seed):
+            return make(seed)["loss"].random()
+
+
+        def second(seed):
+            return make(seed + 1)["loss"].random()
+        '''
+    )
+    target = tmp_path / "factory.py"
+    target.write_text(source)
+    findings = deep_lint_paths([str(target)])
+    assert _codes(findings) == []

@@ -1,0 +1,76 @@
+"""SARIF emission: subset-schema validity, determinism, codeFlows."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.lint.deep import DEEP_CODES, deep_lint_paths
+from repro.lint.engine import lint_paths
+from repro.lint.rules import RULES
+from repro.lint.sarif import sarif_document, sarif_json
+from repro.obs.schema import validate
+
+ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "..")
+)
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def _schema():
+    path = os.path.join(ROOT, "docs", "sarif.schema.json")
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _fixture_findings():
+    return lint_paths([FIXTURES]) + deep_lint_paths([FIXTURES])
+
+
+def test_sarif_output_validates_against_checked_in_subset_schema():
+    document = sarif_document(_fixture_findings())
+    validate(document, _schema())
+
+
+def test_sarif_output_is_byte_identical_across_runs():
+    first = sarif_json(_fixture_findings())
+    second = sarif_json(_fixture_findings())
+    assert first == second
+
+
+def test_rule_table_covers_every_registered_code():
+    document = sarif_document([])
+    validate(document, _schema())
+    ids = [r["id"] for r in document["runs"][0]["tool"]["driver"]["rules"]]
+    assert ids == sorted(ids)
+    assert set(ids) == set(RULES) | set(DEEP_CODES)
+
+
+def test_deep_findings_carry_code_flows():
+    document = sarif_document(_fixture_findings())
+    deep_results = [
+        r
+        for r in document["runs"][0]["results"]
+        if r["ruleId"] in DEEP_CODES
+    ]
+    assert deep_results
+    for result in deep_results:
+        (flow,) = result["codeFlows"]
+        (thread,) = flow["threadFlows"]
+        assert thread["locations"]
+        for location in thread["locations"]:
+            assert location["location"]["message"]["text"]
+
+
+def test_shallow_findings_have_no_code_flows():
+    from repro.lint.engine import lint_source
+
+    findings = lint_source(
+        "import random\n\n\ndef draw():\n    return random.random()\n"
+    )
+    document = sarif_document(findings)
+    results = document["runs"][0]["results"]
+    assert results
+    for result in results:
+        assert "codeFlows" not in result
+    validate(document, _schema())
