@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-deep bench bench-json bench-cache bench-kernel bench-lint overhead-check chaos spec-overhead-check report experiments experiments-quick examples clean
+.PHONY: install test lint lint-deep bench bench-json bench-cache bench-kernel bench-scale bench-lint overhead-check chaos spec-overhead-check report experiments experiments-quick examples clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -55,6 +55,14 @@ bench-cache:
 bench-kernel:
 	$(PYTHON) benchmarks/bench_kernel.py --assert-fanout-speedup 3 \
 		--assert-identical --out BENCH_kernel.json
+
+# Scale-backend gate (docs/SCALE.md): the N=10^6 fluid sweep must
+# finish under a second, and a sharded N=10^5 DES run over the pool
+# must merge byte-identically with the monolithic run and (on
+# multi-core hosts) beat it by >= 2x; emits BENCH_scale.json.
+bench-scale:
+	$(PYTHON) benchmarks/bench_scale.py --assert-fluid-seconds 1 \
+		--assert-speedup 2 --assert-identical --out BENCH_scale.json
 
 # Lint-speed gate (docs/LINT.md): full shallow+deep pass over
 # src/benchmarks/examples from a cold parse cache, then again warm.

@@ -13,7 +13,12 @@ hashes exactly four things:
   lists (``(1, 2)`` and ``[1, 2]`` are different cells);
 * the **cache schema version** — bumping :data:`CACHE_SCHEMA_VERSION`
   orphans every existing entry at once;
-* the **code fingerprint** — see :mod:`repro.cache.fingerprint`.
+* the **code fingerprint** — see :mod:`repro.cache.fingerprint`;
+* the **environment pin** — the numpy version (or ``None`` when numpy
+  is absent).  The fluid backend and the batched fan-out kernel draw
+  through numpy's bit generators, whose stream layouts numpy only
+  guarantees within a version, so an upgrade must orphan vectorized
+  results rather than replay them.
 
 Seeds need no special slot: simulation cells carry ``seed`` in their
 kwargs, and analytic cells are seed-independent by construction.
@@ -23,12 +28,24 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 __all__ = ["CACHE_SCHEMA_VERSION", "canonicalize", "cell_key"]
 
 #: Bump to invalidate every cache entry (stored-payload layout changes).
 CACHE_SCHEMA_VERSION = 1
+
+
+def _numpy_version() -> Optional[str]:
+    """The installed numpy version, or ``None`` without numpy.
+
+    Module-level so tests can monkeypatch a simulated upgrade.
+    """
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - image always ships numpy
+        return None
+    return numpy.__version__
 
 
 def canonicalize(value: Any) -> Any:
@@ -72,6 +89,7 @@ def cell_key(fn: Callable[..., Any], kwargs: dict, fingerprint: str) -> str:
             "fn": f"{fn.__module__}.{fn.__qualname__}",
             "kwargs": canonicalize(kwargs),
             "code": fingerprint,
+            "env": {"numpy": _numpy_version()},
         },
         sort_keys=True,
         separators=(",", ":"),

@@ -12,6 +12,7 @@ from repro.experiments import (
     ext_convergence,
     ext_gateway,
     ext_resilience,
+    ext_scale,
     ext_suppression,
     figure3,
     figure4,
@@ -43,6 +44,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext_convergence": ext_convergence.run,
     "ext_gateway": ext_gateway.run,
     "ext_resilience": ext_resilience.run,
+    "ext_scale": ext_scale.run,
 }
 
 

@@ -132,6 +132,7 @@ def _run_cell(
         rng_streams=sorted(ctx.rng_streams),
         registry=ctx.registry.snapshot(),
         profile=profiler.snapshot() if profiler is not None else None,
+        shard=ctx.shard,
     )
     return result, meta
 

@@ -25,6 +25,14 @@ The family abstraction is keyed by *static identity*: a construction
 site, a spawn of a parent key, or a per-class ``self.<attr>`` slot.
 Families returned out of helper functions are re-keyed per call site so
 two callers of ``make_streams(...)`` are never conflated.
+
+numpy ``Generator`` objects (``default_rng(...)`` / ``Generator(...)``
+construction sites) are tracked through the same binding machinery: a
+Generator holds a *single* stream, so one instance whose draw methods
+(``.random()``, ``.normal()``, ...) are reached from two or more
+distinct functions is the RPR101 aliasing hazard again, just without
+the subscript syntax.  Sequential draws inside one function are normal
+use and are never flagged.
 """
 
 from __future__ import annotations
@@ -45,6 +53,22 @@ __all__ = ["analyze_rng"]
 #: Class names treated as stream-family constructors.  Terminal-name
 #: matching keeps fixtures analyzable without repro on the path.
 _FAMILY_CTORS = {"RngStreams"}
+
+#: Constructors recognized as numpy Generator injection points
+#: (terminal-name matched, so both ``np.random.default_rng`` and a
+#: bare ``default_rng`` import resolve).
+_NPGEN_CTORS = {"default_rng", "Generator", "RandomState"}
+
+#: numpy Generator draw methods — each call advances the instance's
+#: single underlying stream.
+_NPGEN_DRAWS = {
+    "random", "integers", "choice", "shuffle", "permutation", "uniform",
+    "normal", "standard_normal", "exponential", "poisson", "binomial",
+    "geometric", "bytes",
+}
+
+#: Pseudo-substream name grouping all method draws on one Generator.
+_NPGEN_NAME = "<numpy draws>"
 
 #: Cap on interprocedural chain length (and propagation depth).
 _MAX_CHAIN = 8
@@ -182,6 +206,15 @@ class _Scanner:
                     _step(fn, expr, "RngStreams family constructed here"),
                 ),
             )
+        if ctor_name in _NPGEN_CTORS:
+            key = ("npgen", fn.path, expr.lineno)
+            return _Ref(
+                "concrete",
+                key=key,
+                chain=(
+                    _step(fn, expr, "numpy Generator constructed here"),
+                ),
+            )
         # <family>.spawn(name) — derivation.
         if isinstance(func, ast.Attribute) and func.attr == "spawn":
             parent = self.family_of(func.value)
@@ -270,6 +303,16 @@ class _Scanner:
                         (ref, _name_repr(index), is_const, node)
                     )
             elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _NPGEN_DRAWS
+                ):
+                    ref = self.family_of(func.value)
+                    if ref is not None:
+                        self.summary.draws.append(
+                            (ref, _NPGEN_NAME, True, node)
+                        )
                 for target in self.program.call_targets(self.fn, node):
                     for param, arg in self.program.bind_arguments(
                         self.fn, node, target
@@ -579,6 +622,13 @@ def analyze_rng(program: Program) -> List[Finding]:
         if len(sites) < 2:
             continue
         ordered = sorted(sites)
+        if name == _NPGEN_NAME:
+            # Sequential draws within one function are normal Generator
+            # use; the hazard is one instance reached from several
+            # consumers.
+            qualnames = {sites[site][0].qualname for site in ordered}
+            if len(qualnames) < 2:
+                continue
         anchor_fn, anchor_node, anchor_chain = sites[ordered[0]]
         site_list = ", ".join(f"{path}:{line}" for path, line in ordered)
         trace: List[TraceStep] = list(anchor_chain)
@@ -591,6 +641,21 @@ def analyze_rng(program: Program) -> List[Finding]:
                     f"also drawn in {other_fn.qualname}",
                 )
             )
+        if name == _NPGEN_NAME:
+            message = (
+                f"one numpy Generator is drawn from at {len(ordered)} "
+                f"independent sites ({site_list}); a Generator holds a "
+                "single stream, so consumers sharing it are "
+                "order-coupled — derive one generator per consumer from "
+                "the RngStreams family"
+            )
+        else:
+            message = (
+                f"substream {name} of one RngStreams family is drawn "
+                f"at {len(ordered)} independent sites ({site_list}); "
+                "components sharing a substream are order-coupled — "
+                "derive one named substream per consumer"
+            )
         findings.append(
             Finding(
                 path=anchor_fn.path,
@@ -599,12 +664,7 @@ def analyze_rng(program: Program) -> List[Finding]:
                 code="RPR101",
                 rule="substream-aliasing",
                 severity="error",
-                message=(
-                    f"substream {name} of one RngStreams family is drawn "
-                    f"at {len(ordered)} independent sites ({site_list}); "
-                    "components sharing a substream are order-coupled — "
-                    "derive one named substream per consumer"
-                ),
+                message=message,
                 trace=tuple(trace),
             )
         )

@@ -193,7 +193,15 @@ class GlobalRandomRule(Rule):
     * ``random.Random(<literal>)`` inside a function body — a
       fixed-seed *clone*: every instance built through that code path
       replays the same sequence, so "independent" components are
-      perfectly correlated (the historical LossModel default bug).
+      perfectly correlated (the historical LossModel default bug);
+    * calls to module-level ``numpy.random.*`` functions (the legacy
+      global ``RandomState`` — the same shared-stream hazard with a
+      numpy accent);
+    * un-injected ``numpy.random.default_rng()`` / ``Generator()``
+      construction inside a function — no seed argument draws OS
+      entropy (irreproducible), a literal seed is the fixed-seed clone
+      again; derive the generator from the cell's ``RngStreams`` family
+      and pass it in.
     """
 
     code = "RPR001"
@@ -201,6 +209,18 @@ class GlobalRandomRule(Rule):
     severity = "error"
 
     _ALLOWED = {"random.Random", "random.SystemRandom"}
+    #: Generator/bit-generator constructors: flagged only when built
+    #: un-injected (no arg or a literal seed) inside a function, never
+    #: as module-level draws.
+    _NUMPY_CTORS = {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+        "numpy.random.PCG64",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "numpy.random.MT19937",
+    }
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         for node in ast.walk(ctx.tree):
@@ -239,6 +259,29 @@ class GlobalRandomRule(Rule):
                     "every instance replays the same stream; derive a "
                     "per-instance substream via RngStreams (see "
                     "repro.net.loss._default_rng)",
+                )
+            elif dotted in self._NUMPY_CTORS:
+                first = node.args[0] if node.args else None
+                if (
+                    first is None or isinstance(first, ast.Constant)
+                ) and ctx.enclosing_function(node) is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"un-injected '{dotted}' inside a function: no "
+                        "seed draws OS entropy (irreproducible), a "
+                        "literal seed clones one stream into every "
+                        "instance; derive the generator from the cell's "
+                        "RngStreams family and inject it",
+                    )
+            elif dotted.startswith("numpy.random."):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"call to global '{dotted}' in simulation code: the "
+                    "legacy numpy global RandomState is process-shared; "
+                    "draw from an injected numpy Generator derived from "
+                    "repro.des.rng streams instead",
                 )
 
 

@@ -46,6 +46,7 @@ __all__ = [
     "next_trace_label",
     "note_events",
     "note_rng_stream",
+    "note_shard",
     "pop_registry",
     "push_registry",
     "profiling",
@@ -169,12 +170,23 @@ class CellContext:
     worker processes.
     """
 
-    __slots__ = ("events", "rng_streams", "registry", "_next_session", "_labels")
+    __slots__ = (
+        "events",
+        "rng_streams",
+        "registry",
+        "shard",
+        "_next_session",
+        "_labels",
+    )
 
     def __init__(self, registry: Registry) -> None:
         self.events = 0
         self.rng_streams: Set[str] = set()
         self.registry = registry
+        #: Receiver-shard identity ({"index", "lo", "hi"}) when the cell
+        #: simulates one shard of a partitioned population; None for
+        #: ordinary cells.  Surfaced in the cell's telemetry meta.
+        self.shard: Optional[Dict[str, int]] = None
         self._next_session = 0
         self._labels: Dict[str, int] = {}
 
@@ -230,6 +242,18 @@ def note_rng_stream(stream_id: str) -> None:
     """Record that a deterministic RNG substream was derived."""
     if _cell is not None:
         _cell.rng_streams.add(stream_id)
+
+
+def note_shard(info: Dict[str, int]) -> None:
+    """Tag the active cell as simulating one receiver shard.
+
+    Accounting, not input: the shard identity rides in the cell's
+    telemetry meta so ``telemetry.json`` can attribute cost per shard.
+    """
+    if _cell is not None:
+        # Accounting, not input: the shard tag never reaches the cached
+        # result payload, and cached replays deliberately omit it.
+        _cell.shard = dict(info)  # repro-lint: disable=RPR104
 
 
 def next_session_label() -> str:

@@ -24,6 +24,11 @@ folds the event stream into typed spans:
 ``fault``
     ``fault_window`` is a closed span by construction (the injector
     emits its full interval).
+``shard``
+    ``shard_start`` opens one span per receiver-population shard of a
+    sharded session (docs/SCALE.md); ``shard_end`` closes it with the
+    shard's held-pair and false-expiry tallies in ``fields``.  The
+    coordinator's ``shard_merge`` is an instant, not a span.
 
 Spans carry parent links (a packet span parents the record install it
 caused; an announce packet parents to the publisher's open record
@@ -58,7 +63,7 @@ from repro.spec.events import (
 )
 
 #: Span kinds, in display order.
-SPAN_KINDS = ("record", "packet", "repair", "fault")
+SPAN_KINDS = ("record", "packet", "repair", "fault", "shard")
 
 #: Bucket edges for the derived staleness histogram (seconds of
 #: sim-time between the last refresh and the expiry that closed the
@@ -270,6 +275,7 @@ class SpanBuilder:
         self._open_records: Dict[Tuple[Any, Any], Span] = {}
         self._open_packets: Dict[Tuple[Any, Any], Span] = {}
         self._fifo_packets: Dict[Any, deque] = {}
+        self._open_shards: Dict[Any, Span] = {}
         self._open_repairs: Dict[Tuple[str, Any], Span] = {}
         self._closed_repairs: Dict[Tuple[str, Any], Span] = {}
         self._repair_stack: List[Span] = []
@@ -292,6 +298,9 @@ class SpanBuilder:
             "repair_requested": self._on_repair_requested,
             "repair_sent": self._on_repair_sent,
             "fault_window": self._on_fault_window,
+            "shard_start": self._on_shard_start,
+            "shard_end": self._on_shard_end,
+            "shard_merge": self._on_instant,
             "summary_digest": self._on_instant,
             "summary_checked": self._on_instant,
             "fault_armed": self._on_instant,
@@ -353,10 +362,13 @@ class SpanBuilder:
                 self._close(span, None, "in_flight")
         for span in self._open_repairs.values():
             self._close(span, None, "unrepaired")
+        for span in self._open_shards.values():
+            self._close(span, None, "running")
         self._open_records.clear()
         self._open_packets.clear()
         self._fifo_packets.clear()
         self._open_repairs.clear()
+        self._open_shards.clear()
         self._closed_repairs.clear()
         self._repair_stack.clear()
         self._publisher_record.clear()
@@ -582,6 +594,23 @@ class SpanBuilder:
         span = self._new_span("fault", "faults", fields.get("label"), start)
         span.fields["fault_kind"] = fields.get("kind")
         self._close(span, end, "window")
+
+    def _on_shard_start(self, t, ev, fields) -> None:
+        key = fields.get("shard")
+        span = self._new_span("shard", "shards", key, t)
+        span.fields["lo"] = fields.get("lo")
+        span.fields["hi"] = fields.get("hi")
+        span.fields["receivers"] = fields.get("receivers")
+        self._open_shards[key] = span
+
+    def _on_shard_end(self, t, ev, fields) -> None:
+        key = fields.get("shard")
+        span = self._open_shards.pop(key, None)
+        if span is None:
+            span = self._new_span("shard", "shards", key, t, truncated=True)
+        span.fields["held"] = fields.get("held")
+        span.fields["false_expiries"] = fields.get("false_expiries")
+        self._close(span, t, "merged")
 
     def _on_instant(self, t, ev, fields) -> None:
         self._instants.append(

@@ -71,6 +71,10 @@ class CellMeta:
     #: Wall-time attribution snapshot (repro.obs.profile) — present
     #: only when the run opted in via REPRO_PROFILE=1.
     profile: Optional[Dict[str, Any]] = None
+    #: Receiver-shard identity ({"index", "lo", "hi"}) for cells that
+    #: simulate one shard of a partitioned population (repro.protocols
+    #: .sharded); optional, schema version unchanged.
+    shard: Optional[Dict[str, int]] = None
 
     @property
     def events_per_sec(self) -> float:
@@ -88,6 +92,8 @@ class CellMeta:
         }
         if self.profile is not None:
             payload["profile"] = self.profile
+        if self.shard is not None:
+            payload["shard"] = self.shard
         return payload
 
 

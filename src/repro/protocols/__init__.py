@@ -12,7 +12,10 @@
   queues with proportional bandwidth sharing;
 * :mod:`repro.protocols.feedback` — Section 5: receiver NACKs moving
   records back into the hot queue;
-* :mod:`repro.protocols.arq` — a hard-state ACK/retransmit baseline.
+* :mod:`repro.protocols.arq` — a hard-state ACK/retransmit baseline;
+* :mod:`repro.protocols.sharded` — receiver populations partitioned
+  into shard-count-invariant slices for million-receiver sweeps
+  (docs/SCALE.md).
 """
 
 from repro.protocols.states import RecordState, RecordStateMachine
@@ -30,6 +33,10 @@ from repro.protocols.multicast import (
     MulticastFeedbackSession,
     MulticastResult,
 )
+from repro.protocols.sharded import (
+    ScaleListenerSession,
+    ShardedMulticastSession,
+)
 
 __all__ = [
     "ArqResult",
@@ -46,6 +53,8 @@ __all__ = [
     "RateCappedTwoQueueSession",
     "RecordState",
     "RecordStateMachine",
+    "ScaleListenerSession",
+    "ShardedMulticastSession",
     "SoftStateReceiver",
     "TwoQueueSession",
 ]

@@ -1,0 +1,55 @@
+"""Cache keys pin the numpy version.
+
+The fluid backend and the batched fan-out kernel draw through numpy's
+bit generators, whose stream layouts numpy only guarantees within a
+version.  A numpy upgrade must therefore orphan cached cells rather
+than replay results computed under the old stream layout.
+"""
+
+import numpy
+
+import repro.cache.keys as keys
+from repro.cache.keys import cell_key
+from repro.cache.store import ResultCache
+
+
+def _cell_fn(**kwargs):  # a stand-in cell function for key derivation
+    return kwargs
+
+
+def _key():
+    return cell_key(_cell_fn, {"seed": 0, "loss": 0.4}, "codefp")
+
+
+def test_key_reports_the_installed_numpy_version():
+    assert keys._numpy_version() == numpy.__version__
+
+
+def test_simulated_numpy_upgrade_changes_the_key(monkeypatch):
+    before = _key()
+    monkeypatch.setattr(keys, "_numpy_version", lambda: "99.0.0")
+    assert _key() != before
+
+
+def test_key_is_stable_across_calls_under_one_version():
+    assert _key() == _key()
+
+
+def test_numpy_absence_and_presence_key_differently(monkeypatch):
+    with_numpy = _key()
+    monkeypatch.setattr(keys, "_numpy_version", lambda: None)
+    assert _key() != with_numpy
+
+
+def test_warm_store_misses_after_simulated_numpy_upgrade(tmp_path, monkeypatch):
+    cache = ResultCache(root=str(tmp_path))
+    kwargs = {"seed": 0}
+    old_key = cache.key_for(_cell_fn, kwargs)
+    assert cache.store(old_key, _cell_fn, kwargs, {"held": 3})
+    assert cache.load(old_key).result == {"held": 3}
+
+    monkeypatch.setattr(keys, "_numpy_version", lambda: "99.0.0")
+    new_key = cache.key_for(_cell_fn, kwargs)
+    assert new_key != old_key
+    assert cache.load(new_key) is None  # upgrade orphans the entry
+    assert cache.load(old_key).result == {"held": 3}  # but never corrupts it

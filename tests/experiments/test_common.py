@@ -68,6 +68,7 @@ def test_registry_covers_every_table_and_figure():
         "ext_convergence",
         "ext_gateway",
         "ext_resilience",
+        "ext_scale",
     }
     assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,1 @@
+"""Fluid-model unit tests and fluid-vs-DES cross-validation."""

@@ -1,0 +1,189 @@
+"""Fluid-vs-DES cross-validation in the overlap region (docs/SCALE.md).
+
+The fluid backend's license to speak for N = 10^6 receivers is that it
+reproduces the sharded DES at N <= 10^3, where both are affordable.
+These tests pin that agreement: tail consistency within the documented
+tolerance across loss rates and refresh/timeout ratios, false-expiry
+rates within the transient-dominated bound, convergence times within a
+couple of tick widths, and the Gilbert-Elliott case via the
+stride-decimated chain (announcements of one record are ``n_records``
+chain steps apart).
+
+Tolerances are finite-N + finite-horizon error bars, not model slack:
+at N=1000 over an 80 s horizon the binomial noise on the tail mean is
+~0.005, and the acquisition transient biases tail averages by a few
+parts in a thousand.
+"""
+
+import math
+
+import pytest
+
+from repro.fluid import FluidParams, derive_rates, solve, summarize
+from repro.net.loss import GilbertElliottLoss
+from repro.protocols.sharded import (
+    ScaleListenerSession,
+    merge_shards,
+    shard_bounds,
+    shard_cell,
+    shard_metrics,
+)
+
+N_RECORDS = 4
+HORIZON = 80.0
+
+
+def _des_metrics(n, loss, *, timeout_multiple=4, shards=4, **kwargs):
+    rows = []
+    for index, (lo, hi) in enumerate(shard_bounds(n, shards)):
+        rows.append(
+            shard_cell(
+                n_receivers=n,
+                lo=lo,
+                hi=hi,
+                shard=index,
+                loss_rate=loss,
+                seed=7,
+                horizon=HORIZON,
+                n_records=N_RECORDS,
+                timeout_multiple=timeout_multiple,
+                **kwargs,
+            )
+        )
+    return shard_metrics(merge_shards(rows))
+
+
+def _fluid_summary(loss, *, timeout_multiple=4, n=1000.0, **kwargs):
+    params = FluidParams(
+        loss=loss,
+        timeout_multiple=timeout_multiple,
+        n_receivers=float(n),
+        **kwargs,
+    )
+    return summarize(solve(params, HORIZON, 0.05), n_records=N_RECORDS)
+
+
+@pytest.mark.parametrize(
+    "loss,timeout_multiple,tol",
+    [
+        (0.1, 4, 0.01),
+        (0.4, 4, 0.02),
+        (0.4, 2, 0.03),
+        (0.6, 4, 0.04),
+    ],
+)
+def test_consistency_agrees_at_n_1000(loss, timeout_multiple, tol):
+    des = _des_metrics(1000, loss, timeout_multiple=timeout_multiple)
+    fld = _fluid_summary(loss, timeout_multiple=timeout_multiple)
+    assert des["consistency"] == pytest.approx(
+        fld["consistency"], abs=tol
+    )
+    # Both must also sit near the closed-form equilibrium 1 - p^m.
+    eq = derive_rates(
+        FluidParams(loss=loss, timeout_multiple=timeout_multiple)
+    ).hold_eq
+    assert des["consistency"] == pytest.approx(eq, abs=tol)
+
+
+def test_consistency_agrees_at_n_100_with_wider_noise_bar():
+    # Binomial noise at N=100 is ~3x the N=1000 bar.
+    des = _des_metrics(100, 0.4, shards=2)
+    fld = _fluid_summary(0.4, n=100.0)
+    assert des["consistency"] == pytest.approx(fld["consistency"], abs=0.05)
+
+
+def test_convergence_times_agree_within_ticks():
+    des = _des_metrics(1000, 0.2)
+    fld = _fluid_summary(0.2)
+    # DES times are quantized to the 1 s tick grid; allow two ticks.
+    assert abs(des["t50_s"] - fld["t50_s"]) <= 2.0
+    assert abs(des["t90_s"] - fld["t90_s"]) <= 2.0
+    assert abs(des["t99_s"] - fld["t99_s"]) <= 3.0
+    assert not math.isnan(des["t99_s"])
+
+
+def test_false_expiry_rate_agrees_at_high_loss():
+    # loss 0.4, m=4: expiries are common enough to measure.  The fluid
+    # rate is the equilibrium rate; the DES average includes the
+    # acquisition transient, so allow 15% relative.
+    des = _des_metrics(1000, 0.4)
+    fld = _fluid_summary(0.4)
+    assert des["false_expiry_per_s"] == pytest.approx(
+        fld["false_expiry_per_s"], rel=0.15
+    )
+    assert des["false_expiry_per_s"] > 10.0  # not vacuous
+
+
+def test_false_expiry_rate_scales_linearly_with_n():
+    small = _des_metrics(250, 0.4, shards=2)
+    large = _des_metrics(1000, 0.4)
+    assert large["false_expiry_per_s"] == pytest.approx(
+        4.0 * small["false_expiry_per_s"], rel=0.2
+    )
+    # While the intensive consistency metric does not move with N.
+    assert large["consistency"] == pytest.approx(
+        small["consistency"], abs=0.02
+    )
+
+
+def test_gilbert_elliott_agreement_needs_stride_decimation():
+    burst = 5.0
+    des = _des_metrics(1000, 0.4, burst_length=burst)
+    loss = GilbertElliottLoss.with_mean(0.4, burst_length=burst)
+
+    def ge_summary(stride):
+        params = FluidParams(
+            loss=loss,
+            timeout_multiple=4,
+            n_receivers=1000.0,
+            loss_stride=stride,
+        )
+        return summarize(solve(params, HORIZON, 0.05), n_records=N_RECORDS)
+
+    decimated = ge_summary(N_RECORDS)
+    naive = ge_summary(1)
+    # The decimated chain matches the DES; the naive stride-1 chain
+    # (which pretends one record sees every chain transition) must be
+    # visibly worse, or the stride parameter is dead weight.
+    assert des["consistency"] == pytest.approx(
+        decimated["consistency"], abs=0.01
+    )
+    assert abs(des["consistency"] - naive["consistency"]) > 0.05
+
+
+def test_churn_agreement_within_approximation_band():
+    # Churn resets are exponential in the DES and a memoryless hazard
+    # in the fluid - same mean, different higher moments - so the band
+    # is wider than the pure-loss cases.
+    des = _des_metrics(1000, 0.2, churn_rate=0.02)
+    fld = _fluid_summary(0.2, churn_rate=0.02)
+    assert des["consistency"] == pytest.approx(fld["consistency"], abs=0.04)
+    # Churn must actually bite: both sit below the churn-free value.
+    no_churn = _fluid_summary(0.2)
+    assert fld["consistency"] < no_churn["consistency"]
+    assert des["consistency"] < no_churn["consistency"]
+
+
+def test_monolithic_session_matches_sharded_metrics():
+    # The cross-validation harness above runs sharded cells; make sure
+    # that equals the plain single-session path end to end.
+    mono = ScaleListenerSession(
+        200, 0.4, seed=7, n_records=N_RECORDS
+    ).run(horizon=HORIZON)
+    rows = []
+    for index, (lo, hi) in enumerate(shard_bounds(200, 4)):
+        rows.append(
+            shard_cell(
+                n_receivers=200,
+                lo=lo,
+                hi=hi,
+                shard=index,
+                loss_rate=0.4,
+                seed=7,
+                horizon=HORIZON,
+                n_records=N_RECORDS,
+            )
+        )
+    merged = merge_shards(rows)
+    assert mono["held"] == merged["held"]
+    assert mono["false_expiries"] == merged["false_expiries"]

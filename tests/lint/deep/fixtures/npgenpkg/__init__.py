@@ -1,0 +1,1 @@
+"""RPR101 numpy fixtures: one Generator shared across consumers."""

@@ -1,0 +1,20 @@
+"""Compliant numpy Generator use: quiet under RPR101.
+
+Sequential draws inside one owning function are ordinary Generator
+use, and two consumers with their *own* generators share nothing.
+"""
+
+from numpy.random import default_rng
+
+
+def walk(seed):
+    gen = default_rng(seed)
+    a = gen.random()
+    b = gen.normal()
+    return a + b
+
+
+def pair(seed):
+    first = default_rng(seed)
+    second = default_rng(seed + 1)
+    return first.random() + second.random()

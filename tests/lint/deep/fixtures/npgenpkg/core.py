@@ -1,0 +1,23 @@
+"""One numpy Generator, drawn from by two independent consumers.
+
+``Noise.step`` draws ``self.gen`` directly and also hands the instance
+to :func:`jitter`, which draws again — a Generator holds a single
+stream, so the two sites are order-coupled exactly like two components
+sharing one RngStreams substream.
+"""
+
+from numpy.random import default_rng
+
+
+def jitter(gen):
+    return gen.normal()
+
+
+class Noise:
+    def __init__(self, seed):
+        self.gen = default_rng(seed)
+
+    def step(self):
+        direct = self.gen.random()
+        routed = jitter(self.gen)
+        return direct + routed

@@ -1,0 +1,21 @@
+"""The shared-Generator shape, silenced at one draw site.
+
+With one of the two sites suppressed the group collapses to a single
+draw, so no RPR101 finding is emitted for this module.
+"""
+
+from numpy.random import default_rng
+
+
+def audit(gen):
+    # Intentional paired draw for an audit mirror; the order coupling
+    # is the point here, not an accident.
+    return gen.random()  # repro-lint: disable=RPR101
+
+
+class Audited:
+    def __init__(self, seed):
+        self.gen = default_rng(seed)
+
+    def step(self):
+        return self.gen.random() + audit(self.gen)

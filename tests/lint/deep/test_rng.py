@@ -139,3 +139,25 @@ def test_helper_returned_families_are_keyed_per_call_site(tmp_path):
     target.write_text(source)
     findings = deep_lint_paths([str(target)])
     assert _codes(findings) == []
+
+
+def test_numpy_generator_shared_across_consumers_is_flagged():
+    findings = deep_lint_paths([os.path.join(FIXTURES, "npgenpkg")])
+    (finding,) = [f for f in findings if f.code == "RPR101"]
+    assert finding.rule == "substream-aliasing"
+    assert "numpy Generator" in finding.message
+    assert "2 independent sites" in finding.message
+
+
+def test_numpy_sequential_draws_by_one_owner_are_clean():
+    findings = deep_lint_paths(
+        [os.path.join(FIXTURES, "npgenpkg", "clean.py")]
+    )
+    assert _codes(findings) == []
+
+
+def test_numpy_suppressed_site_collapses_the_group():
+    findings = deep_lint_paths(
+        [os.path.join(FIXTURES, "npgenpkg", "suppressed.py")]
+    )
+    assert _codes(findings) == []

@@ -112,6 +112,92 @@ def test_rpr001_suppressed_inline():
     assert found == []
 
 
+def test_rpr001_fires_on_numpy_global_draw():
+    found = findings_for(
+        "RPR001",
+        """
+        import numpy as np
+
+        def draw():
+            return np.random.normal()
+        """,
+    )
+    assert [f.code for f in found] == ["RPR001"]
+    assert "numpy.random.normal" in found[0].message
+
+
+def test_rpr001_fires_on_numpy_global_seed_call():
+    found = findings_for(
+        "RPR001",
+        """
+        import numpy
+
+        def reseed(seed):
+            numpy.random.seed(seed)
+        """,
+    )
+    assert [f.code for f in found] == ["RPR001"]
+
+
+def test_rpr001_fires_on_uninjected_default_rng_in_function():
+    found = findings_for(
+        "RPR001",
+        """
+        from numpy.random import default_rng
+
+        class Model:
+            def __init__(self, rng=None):
+                self._rng = rng if rng is not None else default_rng()
+        """,
+    )
+    assert [f.code for f in found] == ["RPR001"]
+    assert "un-injected" in found[0].message
+
+
+def test_rpr001_fires_on_literal_seeded_generator_in_function():
+    found = findings_for(
+        "RPR001",
+        """
+        import numpy as np
+
+        def make():
+            return np.random.default_rng(0)
+        """,
+    )
+    assert [f.code for f in found] == ["RPR001"]
+
+
+def test_rpr001_quiet_on_injected_numpy_generator():
+    found = findings_for(
+        "RPR001",
+        """
+        import numpy as np
+
+        GOLDEN = np.random.default_rng(1234)  # module-level singleton
+
+        def make(seed):
+            return np.random.default_rng(seed)
+
+        def draw(gen):
+            return gen.normal()
+        """,
+    )
+    assert found == []
+
+
+def test_rpr001_numpy_suppressed_inline():
+    found = findings_for(
+        "RPR001",
+        """
+        import numpy as np
+
+        def draw():
+            return np.random.random()  # repro-lint: disable=RPR001
+        """,
+    )
+    assert found == []
+
+
 # -- RPR002: wall clock ---------------------------------------------------
 
 
